@@ -1,0 +1,212 @@
+//! Criterion micro-benchmarks of the substrate primitives and
+//! single-threaded structure operations. These complement the figure
+//! harness binaries (`src/bin/fig*.rs`), which reproduce the paper's
+//! multi-threaded tables and figures.
+
+use bdhtm_core::{EpochConfig, EpochSys};
+use criterion::{criterion_group, criterion_main, Criterion};
+use htm_sim::{FallbackLock, Htm, HtmConfig};
+use mwcas::{HtmMwCas, MwCasPool, MwTarget};
+use nvm_sim::{NvmAddr, NvmConfig, NvmHeap, WORDS_PER_LINE};
+use persist_alloc::Header;
+use std::hint::black_box;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+fn bench_htm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("htm");
+    let htm = Htm::new(HtmConfig::default());
+    let lock = FallbackLock::new();
+    let cells: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+
+    g.bench_function("empty_txn", |b| {
+        b.iter(|| htm.attempt(|_| Ok(())).unwrap())
+    });
+    g.bench_function("txn_8r8w", |b| {
+        b.iter(|| {
+            htm.run(&lock, |m| {
+                for i in 0..8 {
+                    let v = m.load(&cells[i])?;
+                    m.store(&cells[i + 8], v + 1)?;
+                }
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+    g.bench_function("fallback_path", |b| {
+        let htm = Htm::new(HtmConfig::default().with_spurious(1.0));
+        b.iter(|| {
+            htm.run(&lock, |m| {
+                let v = m.load(&cells[0])?;
+                m.store(&cells[0], v + 1)?;
+                Ok(())
+            })
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_nvm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nvm");
+    let heap = NvmHeap::new(NvmConfig::for_tests(8 << 20));
+    let a = heap.base();
+    g.bench_function("write", |b| b.iter(|| heap.write(a, black_box(1))));
+    g.bench_function("write_clwb_fence", |b| {
+        b.iter(|| {
+            heap.write(a, black_box(2));
+            heap.clwb(a);
+            heap.fence();
+        })
+    });
+    g.finish();
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("epoch");
+    let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(64 << 20)));
+    let esys = EpochSys::format(heap, EpochConfig::default());
+    g.bench_function("begin_end_op", |b| {
+        b.iter(|| {
+            esys.begin_op();
+            esys.end_op();
+        })
+    });
+    g.bench_function("full_publish_cycle", |b| {
+        // begin, preallocate, claim, track, retire-previous, end — the
+        // Listing 1 shell. Retiring the prior block and advancing
+        // periodically keeps the heap footprint constant across however
+        // many iterations Criterion chooses.
+        let mut i = 0u64;
+        let mut prev: Option<nvm_sim::NvmAddr> = None;
+        b.iter(|| {
+            let e = esys.begin_op();
+            let blk = esys.p_new(2);
+            Header::set_epoch(esys.heap(), blk, e);
+            esys.p_track(blk);
+            if let Some(p) = prev.take() {
+                esys.p_retire(p);
+            }
+            prev = Some(blk);
+            esys.end_op();
+            i += 1;
+            if i % 4096 == 0 {
+                esys.advance();
+            }
+            black_box(blk)
+        })
+    });
+    g.finish();
+}
+
+fn bench_mwcas(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mwcas_k4");
+    let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(64 << 20)));
+    let pool = MwCasPool::new(Arc::clone(&heap));
+    let htm = HtmMwCas::new(Arc::clone(&heap));
+    let base = NvmAddr(heap.capacity_words() - 1024);
+    let targets = |heap: &NvmHeap| -> Vec<MwTarget> {
+        (0..4)
+            .map(|i| {
+                let a = base.offset(i * WORDS_PER_LINE);
+                let old = heap.word(a).load(std::sync::atomic::Ordering::Acquire);
+                MwTarget::new(a, old, (old + 1) & !(1 << 63))
+            })
+            .collect()
+    };
+    g.bench_function("mw_wr", |b| {
+        b.iter(|| mwcas::mw_write(&heap, &targets(&heap)))
+    });
+    g.bench_function("htm_mwcas", |b| b.iter(|| htm.execute(&targets(&heap))));
+    g.bench_function("mwcas", |b| b.iter(|| pool.mwcas(&targets(&heap))));
+    g.bench_function("pmwcas", |b| b.iter(|| pool.pmwcas(&targets(&heap))));
+    g.finish();
+}
+
+fn bench_structures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("structure_get");
+    let n = 1u64 << 14;
+
+    // PHTM-vEB.
+    {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(128 << 20)));
+        let esys = EpochSys::format(heap, EpochConfig::default());
+        let htm = Arc::new(Htm::new(HtmConfig::default()));
+        let t = veb::PhtmVeb::new(16, esys, htm);
+        for k in 0..n {
+            t.insert(k, k);
+        }
+        let mut k = 0;
+        g.bench_function("phtm_veb", |b| {
+            b.iter(|| {
+                k = (k + 7) % n;
+                black_box(t.get(k))
+            })
+        });
+    }
+    // BDL-Skiplist.
+    {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(128 << 20)));
+        let esys = EpochSys::format(heap, EpochConfig::default());
+        let htm = Arc::new(Htm::new(HtmConfig::default()));
+        let t = skiplist::BdlSkiplist::new(esys, htm);
+        for k in 0..n {
+            t.insert(k + 1, k);
+        }
+        let mut k = 0;
+        g.bench_function("bdl_skiplist", |b| {
+            b.iter(|| {
+                k = (k + 7) % n;
+                black_box(t.get(k + 1))
+            })
+        });
+    }
+    // BD-Spash.
+    {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(128 << 20)));
+        let esys = EpochSys::format(heap, EpochConfig::default());
+        let htm = Arc::new(Htm::new(HtmConfig::default()));
+        let t = hashtable::BdSpash::new(esys, htm);
+        for k in 0..n {
+            t.insert(k, k);
+        }
+        let mut k = 0;
+        g.bench_function("bd_spash", |b| {
+            b.iter(|| {
+                k = (k + 7) % n;
+                black_box(t.get(k))
+            })
+        });
+    }
+    // CCEH (strict baseline for contrast).
+    {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(128 << 20)));
+        let t = hashtable::Cceh::new(heap);
+        for k in 0..n {
+            t.insert(k, k);
+        }
+        let mut k = 0;
+        g.bench_function("cceh", |b| {
+            b.iter(|| {
+                k = (k + 7) % n;
+                black_box(t.get(k))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_htm, bench_nvm, bench_epoch, bench_mwcas, bench_structures
+}
+criterion_main!(benches);

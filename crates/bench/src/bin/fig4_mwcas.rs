@@ -1,0 +1,96 @@
+//! Fig. 4: single-thread throughput of the four multi-word update
+//! mechanisms over 1M cache-line-aligned NVM slots, updating 2, 4, or 8
+//! random locations atomically. The paper: HTM-MwCAS costs little over
+//! raw writes; descriptor MwCAS is slower; PMwCAS drops >10x below MwCAS
+//! because of persist instructions.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig4_mwcas
+//! ```
+
+use bench::secs_per_point;
+use mwcas::{mw_write, HtmMwCas, MwCasPool, MwTarget};
+use nvm_sim::{NvmAddr, NvmConfig, NvmHeap, WORDS_PER_LINE};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ycsb_gen::Rng64;
+
+const SLOTS: u64 = 1 << 20;
+
+fn slots_base(heap: &NvmHeap) -> NvmAddr {
+    // The top of the heap, away from allocator extents.
+    NvmAddr(heap.capacity_words() - SLOTS * WORDS_PER_LINE)
+}
+
+/// Runs `op` on random target sets of size `k` for the configured time;
+/// returns Mops/s.
+fn run(heap: &NvmHeap, k: usize, mut op: impl FnMut(&[MwTarget])) -> f64 {
+    let base = slots_base(heap);
+    let mut rng = Rng64::new(42);
+    let dur = Duration::from_secs_f64(secs_per_point());
+    let t0 = Instant::now();
+    let mut ops = 0u64;
+    let mut targets = Vec::with_capacity(k);
+    while t0.elapsed() < dur {
+        targets.clear();
+        let mut used = [u64::MAX; 8];
+        for i in 0..k {
+            let slot = loop {
+                let s = rng.next_below(SLOTS);
+                if !used[..i].contains(&s) {
+                    break s;
+                }
+            };
+            used[i] = slot;
+            let addr = base.offset(slot * WORDS_PER_LINE);
+            let old = heap.word(addr).load(std::sync::atomic::Ordering::Acquire);
+            targets.push(MwTarget::new(addr, old, (old + 1) & !(1 << 63)));
+        }
+        op(&targets);
+        ops += 1;
+    }
+    ops as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+fn main() {
+    println!("# Fig 4: MwCAS variants, single thread, 1M line-aligned NVM slots (Mops/s)");
+    println!("{:<12} {:>9} {:>9} {:>9}", "mechanism", "k=2", "k=4", "k=8");
+
+    let heap = Arc::new(NvmHeap::new(NvmConfig::optane(1 << 30)));
+    let pool = MwCasPool::new(Arc::clone(&heap));
+    let htm = HtmMwCas::new(Arc::clone(&heap));
+
+    // Touch every slot once so page faults don't pollute the first series.
+    let base = slots_base(&heap);
+    for s in 0..SLOTS {
+        heap.word(base.offset(s * WORDS_PER_LINE))
+            .store(0, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    let ks = [2usize, 4, 8];
+    let mut lines = vec![
+        ("Mw-WR", vec![]),
+        ("HTM-MwCAS", vec![]),
+        ("MwCAS", vec![]),
+        ("PMwCAS", vec![]),
+    ];
+    for &k in &ks {
+        lines[0].1.push(run(&heap, k, |t| mw_write(&heap, t)));
+        lines[1].1.push(run(&heap, k, |t| {
+            htm.execute(t);
+        }));
+        lines[2].1.push(run(&heap, k, |t| {
+            pool.mwcas(t);
+        }));
+        lines[3].1.push(run(&heap, k, |t| {
+            pool.pmwcas(t);
+        }));
+    }
+    for (name, vals) in lines {
+        print!("{name:<12}");
+        for v in vals {
+            print!(" {v:>9.4}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 7: single-thread PHTM-vEB throughput as a function of epoch
+//! length (1 µs – 10 s) and workload skew (uniform, Zipfian 0.9 / 0.99),
+//! 80% writes. The paper: longer epochs help skewed workloads (less
+//! cache-invalidating background flushing of hot lines) with diminishing
+//! returns past ~10 ms; uniform workloads barely care.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig7_epoch_length
+//! ```
+
+use bdhtm_core::{EpochConfig, EpochSys, EpochTicker};
+use bench::*;
+use htm_sim::{Htm, HtmConfig};
+use nvm_sim::{NvmConfig, NvmHeap};
+use std::sync::Arc;
+use std::time::Duration;
+use veb::PhtmVeb;
+use ycsb_gen::{Mix, WorkloadSpec};
+
+fn main() {
+    let ubits = 22 - scale_down_bits() / 2;
+    let universe = 1u64 << ubits;
+    // 1 µs .. 10 s, log-spaced as in the paper (10 s capped to keep runs
+    // bounded — at that point the ticker never fires within a data point,
+    // which is exactly the paper's "unacceptable data-loss window").
+    let epochs = [
+        ("1us", Duration::from_micros(1)),
+        ("100us", Duration::from_micros(100)),
+        ("1ms", Duration::from_millis(1)),
+        ("10ms", Duration::from_millis(10)),
+        ("100ms", Duration::from_millis(100)),
+        ("1s", Duration::from_secs(1)),
+        ("10s", Duration::from_secs(10)),
+    ];
+    println!(
+        "# Fig 7: single-thread PHTM-vEB vs epoch length, universe 2^{ubits}, 80% writes (Mops/s)"
+    );
+    print!("{:<16}", "distribution");
+    for (name, _) in &epochs {
+        print!(" {name:>8}");
+    }
+    println!();
+
+    for (dist_name, theta) in [("uniform", None), ("zipfian(0.9)", Some(0.9)), ("zipfian(0.99)", Some(0.99))] {
+        let spec = match theta {
+            None => WorkloadSpec::uniform(universe, Mix::reads(0.2)),
+            Some(t) => WorkloadSpec::zipfian(universe, t, Mix::reads(0.2)),
+        };
+        let w = spec.build();
+        print!("{dist_name:<16}");
+        for (_, len) in &epochs {
+            let heap = Arc::new(NvmHeap::new(NvmConfig::optane(512 << 20)));
+            let esys = EpochSys::format(heap, EpochConfig::default().with_epoch_len(*len));
+            let htm = Arc::new(Htm::new(HtmConfig::default()));
+            let tree = Arc::new(PhtmVeb::new(ubits, Arc::clone(&esys), htm));
+            let backend = Arc::new(PhtmVebBackend(tree));
+            prefill(backend.as_ref(), &w);
+            let ticker = EpochTicker::spawn(esys);
+            let mops = throughput(backend, &w, 1);
+            ticker.stop();
+            print!(" {mops:>8.3}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,84 @@
+//! §5.2: recovery time — NVM heap scan plus DRAM index rebuild — for the
+//! three case-study structures, with 1 and N scanner/rebuild threads.
+//! The paper: scanning is fast (sequential bandwidth); rebuild dominates
+//! and parallelizes well; the skiplist rebuilds slowest.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin recovery_time
+//! ```
+
+use bdhtm_core::{EpochConfig, EpochSys};
+use bench::{scale_down_bits, thread_counts};
+use hashtable::BdSpash;
+use htm_sim::{Htm, HtmConfig};
+use nvm_sim::{NvmConfig, NvmHeap};
+use skiplist::BdlSkiplist;
+use std::sync::Arc;
+use std::time::Instant;
+use veb::PhtmVeb;
+
+fn main() {
+    let records = 1u64 << (23 - scale_down_bits().min(8));
+    let par = *thread_counts().last().unwrap_or(&4);
+    println!("# Sec 5.2: recovery time with {records} records (scan + rebuild)");
+    println!(
+        "{:<14} {:>9} {:>12} {:>12}",
+        "structure", "threads", "scan", "rebuild"
+    );
+
+    for kind in ["PHTM-vEB", "BDL-Skiplist", "BD-Spash"] {
+        // Build, fill, persist, crash.
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(1 << 30)));
+        let esys = EpochSys::format(Arc::clone(&heap), EpochConfig::default());
+        let htm = Arc::new(Htm::new(HtmConfig::default()));
+        let ubits = 64 - (records * 2 - 1).leading_zeros();
+        match kind {
+            "PHTM-vEB" => {
+                let t = PhtmVeb::new(ubits, Arc::clone(&esys), Arc::clone(&htm));
+                for k in 0..records {
+                    t.insert(k * 2, k);
+                }
+            }
+            "BDL-Skiplist" => {
+                let t = BdlSkiplist::new(Arc::clone(&esys), Arc::clone(&htm));
+                for k in 0..records {
+                    t.insert(k * 2 + 1, k);
+                }
+            }
+            _ => {
+                let t = BdSpash::new(Arc::clone(&esys), Arc::clone(&htm));
+                for k in 0..records {
+                    t.insert(k * 2, k);
+                }
+            }
+        }
+        esys.flush_all();
+        esys.advance();
+        let image = heap.crash();
+
+        for threads in [1usize, par] {
+            let heap2 = Arc::new(NvmHeap::from_image(image.duplicate()));
+            let t0 = Instant::now();
+            let (esys2, live) = EpochSys::recover(heap2, EpochConfig::default(), threads);
+            let scan = t0.elapsed();
+            let htm2 = Arc::new(Htm::new(HtmConfig::default()));
+            let t0 = Instant::now();
+            match kind {
+                "PHTM-vEB" => {
+                    let t = PhtmVeb::recover(ubits, esys2, htm2, &live, threads);
+                    assert!(t.contains(0));
+                }
+                "BDL-Skiplist" => {
+                    let t = BdlSkiplist::recover(esys2, htm2, &live, threads);
+                    assert!(t.contains(1));
+                }
+                _ => {
+                    let t = BdSpash::recover(esys2, htm2, &live);
+                    assert!(t.contains(0));
+                }
+            }
+            let rebuild = t0.elapsed();
+            println!("{kind:<14} {threads:>9} {scan:>12.3?} {rebuild:>12.3?}");
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Shared benchmark-harness machinery for the figure/table binaries.
+//!
+//! Every experiment binary (`src/bin/fig*.rs`, `table3_space.rs`,
+//! `recovery_time.rs`) reproduces one table or figure of the paper: it
+//! builds the paper's workload, sweeps the paper's parameter, and prints
+//! the same rows/series the paper reports. Absolute numbers differ (the
+//! substrates are simulators and this machine is not a 40-core
+//! Optane box); EXPERIMENTS.md records the shape comparison.
+//!
+//! Scaling knobs (environment variables, so `cargo run` lines stay
+//! copy-pasteable):
+//!
+//! * `BDHTM_SECS` — seconds per data point (default 0.5).
+//! * `BDHTM_THREADS` — comma-separated thread counts (default "1,2,4").
+//! * `BDHTM_SCALE` — workload-size divisor exponent: key-space bits are
+//!   reduced by this amount from the paper's (default 6, i.e. 2^26 →
+//!   2^20) so runs finish on laptop-class containers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ycsb_gen::{Op, OpKind, Rng64, Workload};
+
+/// Seconds per throughput data point.
+pub fn secs_per_point() -> f64 {
+    std::env::var("BDHTM_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5)
+}
+
+/// Thread counts to sweep.
+pub fn thread_counts() -> Vec<usize> {
+    std::env::var("BDHTM_THREADS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4])
+}
+
+/// Bits subtracted from the paper's key-space sizes.
+pub fn scale_down_bits() -> u32 {
+    std::env::var("BDHTM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6)
+}
+
+/// A key-value structure under test.
+pub trait KvBackend: Send + Sync {
+    fn read(&self, key: u64);
+    fn insert(&self, key: u64, value: u64);
+    fn remove(&self, key: u64);
+
+    #[inline]
+    fn run_op(&self, op: &Op) {
+        match op.kind {
+            OpKind::Read => self.read(op.key),
+            OpKind::Insert => self.insert(op.key, op.value),
+            OpKind::Remove => self.remove(op.key),
+        }
+    }
+}
+
+/// Prefills `backend` with half the key space (the paper's setup).
+pub fn prefill(backend: &dyn KvBackend, workload: &Workload) {
+    for k in workload.prefill_keys() {
+        backend.insert(k, ycsb_gen::value_of(k));
+    }
+}
+
+/// Runs `threads` workers against `backend` for [`secs_per_point`]
+/// seconds and returns throughput in Mops/s.
+pub fn throughput(backend: Arc<dyn KvBackend>, workload: &Workload, threads: usize) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicU64::new(0));
+    let dur = Duration::from_secs_f64(secs_per_point());
+    let t0 = Instant::now();
+    crossbeam::thread::scope(|s| {
+        for tid in 0..threads {
+            let backend = Arc::clone(&backend);
+            let workload = workload.clone();
+            let stop = Arc::clone(&stop);
+            let ops = Arc::clone(&ops);
+            s.spawn(move |_| {
+                let mut rng = Rng64::new(0xB0B0 + tid as u64);
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    backend.run_op(&workload.next_op(&mut rng));
+                    n += 1;
+                }
+                ops.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(dur);
+        stop.store(true, Ordering::Relaxed);
+    })
+    .unwrap();
+    ops.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+/// Prints a series row: `label  v1  v2  v3 ...`.
+pub fn row(label: &str, values: &[f64]) {
+    print!("{label:<28}");
+    for v in values {
+        print!(" {v:>9.3}");
+    }
+    println!();
+}
+
+/// Prints the thread-count header matching [`row`].
+pub fn header(first: &str, threads: &[usize]) {
+    print!("{first:<28}");
+    for t in threads {
+        print!(" {:>8}T", t);
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------
+// Backend adapters.
+
+macro_rules! kv_adapter {
+    ($name:ident, $inner:ty, $read:expr, $ins:expr, $rem:expr) => {
+        pub struct $name(pub Arc<$inner>);
+        impl KvBackend for $name {
+            #[inline]
+            fn read(&self, key: u64) {
+                #[allow(clippy::redundant_closure_call)]
+                let _ = ($read)(&self.0, key);
+            }
+            #[inline]
+            fn insert(&self, key: u64, value: u64) {
+                #[allow(clippy::redundant_closure_call)]
+                let _ = ($ins)(&self.0, key, value);
+            }
+            #[inline]
+            fn remove(&self, key: u64) {
+                #[allow(clippy::redundant_closure_call)]
+                let _ = ($rem)(&self.0, key);
+            }
+        }
+    };
+}
+
+kv_adapter!(
+    HtmVebBackend,
+    veb::HtmVeb,
+    |t: &veb::HtmVeb, k| t.get(k),
+    |t: &veb::HtmVeb, k, v| t.insert(k, v),
+    |t: &veb::HtmVeb, k| t.remove(k)
+);
+kv_adapter!(
+    PhtmVebBackend,
+    veb::PhtmVeb,
+    |t: &veb::PhtmVeb, k| t.get(k),
+    |t: &veb::PhtmVeb, k, v| t.insert(k, v),
+    |t: &veb::PhtmVeb, k| t.remove(k)
+);
+kv_adapter!(
+    LbTreeBackend,
+    btree::LbTree,
+    |t: &btree::LbTree, k| t.get(k),
+    |t: &btree::LbTree, k, v| t.insert(k, v),
+    |t: &btree::LbTree, k| t.remove(k)
+);
+kv_adapter!(
+    OccBackend,
+    btree::OccAbTree,
+    |t: &btree::OccAbTree, k| t.get(k),
+    |t: &btree::OccAbTree, k, v| t.insert(k, v),
+    |t: &btree::OccAbTree, k| t.remove(k)
+);
+kv_adapter!(
+    ElimBackend,
+    btree::ElimAbTree,
+    |t: &btree::ElimAbTree, k| t.get(k),
+    |t: &btree::ElimAbTree, k, v| t.insert(k, v),
+    |t: &btree::ElimAbTree, k| t.remove(k)
+);
+kv_adapter!(
+    DlSkiplistBackend,
+    skiplist::DlSkiplist,
+    |t: &skiplist::DlSkiplist, k| t.get(k),
+    |t: &skiplist::DlSkiplist, k, v| t.insert(k, v & !(1 << 63)),
+    |t: &skiplist::DlSkiplist, k| t.remove(k)
+);
+kv_adapter!(
+    BdlSkiplistBackend,
+    skiplist::BdlSkiplist,
+    |t: &skiplist::BdlSkiplist, k| t.get(k),
+    |t: &skiplist::BdlSkiplist, k, v| t.insert(k, v),
+    |t: &skiplist::BdlSkiplist, k| t.remove(k)
+);
+kv_adapter!(
+    SpashBackend,
+    hashtable::Spash,
+    |t: &hashtable::Spash, k| t.get(k),
+    |t: &hashtable::Spash, k, v| t.insert(k, v),
+    |t: &hashtable::Spash, k| t.remove(k)
+);
+kv_adapter!(
+    BdSpashBackend,
+    hashtable::BdSpash,
+    |t: &hashtable::BdSpash, k| t.get(k),
+    |t: &hashtable::BdSpash, k, v| t.insert(k, v),
+    |t: &hashtable::BdSpash, k| t.remove(k)
+);
+kv_adapter!(
+    CcehBackend,
+    hashtable::Cceh,
+    |t: &hashtable::Cceh, k| t.get(k),
+    |t: &hashtable::Cceh, k, v| t.insert(k, v),
+    |t: &hashtable::Cceh, k| t.remove(k)
+);
+kv_adapter!(
+    PlushBackend,
+    hashtable::Plush,
+    |t: &hashtable::Plush, k| t.get(k),
+    |t: &hashtable::Plush, k, v| t.insert(k, v & !(1 << 63)),
+    |t: &hashtable::Plush, k| t.remove(k)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdhtm_core::{EpochConfig, EpochSys};
+    use htm_sim::{Htm, HtmConfig};
+    use nvm_sim::{NvmConfig, NvmHeap};
+    use ycsb_gen::{Mix, WorkloadSpec};
+
+    #[test]
+    fn harness_drives_a_backend() {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(32 << 20)));
+        let esys = EpochSys::format(heap, EpochConfig::default());
+        let htm = Arc::new(Htm::new(HtmConfig::default()));
+        let tree = Arc::new(veb::PhtmVeb::new(12, esys, htm));
+        let w = WorkloadSpec::uniform(1 << 12, Mix::write_heavy()).build();
+        let backend = Arc::new(PhtmVebBackend(tree));
+        prefill(backend.as_ref(), &w);
+        std::env::set_var("BDHTM_SECS", "0.05");
+        let mops = throughput(backend, &w, 2);
+        assert!(mops > 0.0);
+    }
+}

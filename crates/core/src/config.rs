@@ -1,0 +1,34 @@
+//! Epoch-system configuration.
+
+use std::time::Duration;
+
+/// Configuration of an [`EpochSys`](crate::EpochSys).
+#[derive(Clone, Debug)]
+pub struct EpochConfig {
+    /// Target epoch length. The paper's default is 50 ms; §5.1 sweeps
+    /// 1 µs – 10 s and finds 10–100 ms a robust choice. Only consumed by
+    /// [`EpochTicker`](crate::EpochTicker); with manual advancement it is
+    /// informational.
+    pub epoch_len: Duration,
+}
+
+impl Default for EpochConfig {
+    fn default() -> Self {
+        Self {
+            epoch_len: Duration::from_millis(50),
+        }
+    }
+}
+
+impl EpochConfig {
+    /// Configuration for tests that advance epochs by hand.
+    pub fn manual() -> Self {
+        Self::default()
+    }
+
+    /// Sets the epoch length (Fig. 7 / Fig. 8 sweeps).
+    pub fn with_epoch_len(mut self, len: Duration) -> Self {
+        self.epoch_len = len;
+        self
+    }
+}

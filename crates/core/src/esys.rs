@@ -1,0 +1,828 @@
+//! The epoch system: operation registration, write tracking, epoch
+//! advancement, and the Listing 1 update-classification helper.
+
+use crate::config::EpochConfig;
+use crossbeam::utils::CachePadded;
+use htm_sim::{max_threads, thread_id, MemAccess, TxResult};
+use nvm_sim::{NvmAddr, NvmHeap};
+use parking_lot::Mutex;
+use persist_alloc::{
+    mark_deleted, AllocStats, Header, PAlloc, CLASS_WORDS, HDR_EPOCH, HDR_WORDS,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// First active epoch of a freshly formatted system. Starting at 2 keeps
+/// `e−1` and `e−2` well-defined from the first operation.
+pub const EPOCH_START: u64 = 2;
+
+/// Announcement-array value meaning "no operation in progress".
+pub const EMPTY_EPOCH: u64 = u64::MAX;
+
+/// Explicit HTM abort code raised when an operation in an old epoch
+/// encounters a block modified in a newer epoch (`OldSeeNewException`,
+/// Listing 1 line 23). The operation must `abort_op` and re-register.
+pub const OLD_SEE_NEW: u8 = 0xA1;
+
+/// Root slot holding the format magic.
+const ROOT_MAGIC: u64 = 0;
+/// Root slot holding the persisted epoch frontier `R`.
+const ROOT_FRONTIER: u64 = 1;
+const EPOCH_MAGIC: u64 = 0xEB0C_BD47_0001_A11C;
+
+/// Number of epoch buffer generations kept per thread. Epoch `x`'s buffer
+/// is drained while epoch `x+1` is active and reused at `x+4`.
+const BUF_GENS: usize = 4;
+
+/// The word address of payload word `idx` of block `blk`.
+#[inline]
+pub fn payload(blk: NvmAddr, idx: u64) -> NvmAddr {
+    blk.offset(HDR_WORDS + idx)
+}
+
+/// Per-thread preallocated-block slots: the `thread_local new_blk` of
+/// Listing 1, shared by every BDL structure.
+///
+/// [`PreallocSlots::take`] returns the thread's spare block or allocates
+/// a fresh one (outside any transaction — allocation aborts transactions);
+/// either way the block's epoch is reset to `INVALID_EPOCH`, upholding the
+/// §5 rule that an interrupted operation's block must never carry a stale
+/// epoch into its next use. [`PreallocSlots::put_back`] stashes an unused
+/// block for the next operation; [`PreallocSlots::drain`] reclaims every
+/// spare at clean shutdown.
+pub struct PreallocSlots {
+    payload_words: u64,
+    slots: Box<[Mutex<Option<NvmAddr>>]>,
+}
+
+impl PreallocSlots {
+    /// Slots for blocks holding `payload_words` of payload.
+    pub fn new(payload_words: u64) -> Self {
+        Self {
+            payload_words,
+            slots: (0..max_threads()).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// The calling thread's preallocated block (Listing 1 line 10), with
+    /// its epoch reset to invalid (line 12's `INVALID_EPOCH`).
+    pub fn take(&self, esys: &EpochSys) -> NvmAddr {
+        let blk = {
+            let mut slot = self.slots[thread_id()].lock();
+            slot.take()
+        };
+        let blk = match blk {
+            Some(b) => b,
+            None => esys.p_new(self.payload_words),
+        };
+        esys.heap()
+            .word(blk.offset(HDR_EPOCH))
+            .store(persist_alloc::INVALID_EPOCH, Ordering::Release);
+        blk
+    }
+
+    /// Returns an unused block for the next operation on this thread.
+    pub fn put_back(&self, blk: NvmAddr) {
+        *self.slots[thread_id()].lock() = Some(blk);
+    }
+
+    /// Reclaims every spare block (clean shutdown).
+    pub fn drain(&self, esys: &EpochSys) {
+        for slot in self.slots.iter() {
+            if let Some(blk) = slot.lock().take() {
+                esys.p_delete(blk);
+            }
+        }
+    }
+}
+
+/// What an updater must do with an existing block (Listing 1 lines 20–29).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UpdateKind {
+    /// Block belongs to the operation's epoch: update payload in place.
+    InPlace,
+    /// Block belongs to an older epoch: install a (preallocated)
+    /// replacement and retire the old block after commit.
+    Replace,
+}
+
+#[derive(Default)]
+struct EpochBuf {
+    persist: Vec<NvmAddr>,
+    retire: Vec<NvmAddr>,
+}
+
+struct ThreadState {
+    bufs: [EpochBuf; BUF_GENS],
+    /// Epoch of the in-progress operation (EMPTY_EPOCH if none).
+    op_epoch: u64,
+    /// Buffer lengths at `begin_op`, so `abort_op` can truncate.
+    persist_mark: usize,
+    retire_mark: usize,
+}
+
+impl Default for ThreadState {
+    fn default() -> Self {
+        Self {
+            bufs: Default::default(),
+            op_epoch: EMPTY_EPOCH,
+            persist_mark: 0,
+            retire_mark: 0,
+        }
+    }
+}
+
+/// Volatile counters describing epoch-system activity.
+#[derive(Default)]
+pub struct EpochStats {
+    /// Completed epoch advances.
+    pub advances: AtomicU64,
+    /// Blocks flushed by background persistence.
+    pub blocks_persisted: AtomicU64,
+    /// Words covered by those flushes (buffered-bytes-per-epoch model,
+    /// §5.1).
+    pub words_persisted: AtomicU64,
+    /// Retired blocks physically reclaimed.
+    pub blocks_reclaimed: AtomicU64,
+}
+
+/// The buffered-durability epoch system (Table 2 API).
+pub struct EpochSys {
+    heap: Arc<NvmHeap>,
+    alloc: PAlloc,
+    clock: CachePadded<AtomicU64>,
+    /// Volatile mirror of the persisted frontier `R`: all epochs `≤ R`
+    /// are durable.
+    frontier: CachePadded<AtomicU64>,
+    announce: Box<[CachePadded<AtomicU64>]>,
+    threads: Box<[CachePadded<Mutex<ThreadState>>]>,
+    advance_lock: Mutex<()>,
+    /// eADR detected: tracking and advancement are unnecessary (§4.3).
+    disabled: bool,
+    config: EpochConfig,
+    stats: EpochStats,
+}
+
+impl EpochSys {
+    /// Formats a fresh heap: writes the magic and initial frontier, and
+    /// returns a system whose active epoch is [`EPOCH_START`].
+    pub fn format(heap: Arc<NvmHeap>, config: EpochConfig) -> Arc<EpochSys> {
+        let alloc = PAlloc::new(Arc::clone(&heap));
+        let disabled = heap.config().eadr;
+        heap.write(heap.root(ROOT_MAGIC), EPOCH_MAGIC);
+        heap.write(heap.root(ROOT_FRONTIER), EPOCH_START - 1);
+        heap.persist_range(heap.root(ROOT_MAGIC), 2);
+        heap.fence();
+        Arc::new(Self::build(heap, alloc, config, EPOCH_START, EPOCH_START - 1, disabled))
+    }
+
+    pub(crate) fn build(
+        heap: Arc<NvmHeap>,
+        alloc: PAlloc,
+        config: EpochConfig,
+        clock: u64,
+        frontier: u64,
+        disabled: bool,
+    ) -> EpochSys {
+        EpochSys {
+            heap,
+            alloc,
+            clock: CachePadded::new(AtomicU64::new(clock)),
+            frontier: CachePadded::new(AtomicU64::new(frontier)),
+            announce: (0..max_threads())
+                .map(|_| CachePadded::new(AtomicU64::new(EMPTY_EPOCH)))
+                .collect(),
+            threads: (0..max_threads())
+                .map(|_| CachePadded::new(Mutex::new(ThreadState::default())))
+                .collect(),
+            advance_lock: Mutex::new(()),
+            disabled,
+            config,
+            stats: EpochStats::default(),
+        }
+    }
+
+    /// The underlying heap.
+    pub fn heap(&self) -> &Arc<NvmHeap> {
+        &self.heap
+    }
+
+    /// The persistent allocator (for direct space accounting).
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.alloc.stats()
+    }
+
+    pub fn config(&self) -> &EpochConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> &EpochStats {
+        &self.stats
+    }
+
+    /// `true` when running on eADR (persistent cache): tracking disabled.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
+    /// The current active epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// All epochs `≤` this value are durable.
+    pub fn persisted_frontier(&self) -> u64 {
+        self.frontier.load(Ordering::SeqCst)
+    }
+
+    // ----- Table 2: operation bracketing ---------------------------------
+
+    /// Registers the calling thread as active in the current epoch and
+    /// begins tracking its NVM writes. Returns the operation's epoch.
+    pub fn begin_op(&self) -> u64 {
+        let tid = thread_id();
+        if self.disabled {
+            return self.clock.load(Ordering::SeqCst);
+        }
+        let e = loop {
+            let e = self.clock.load(Ordering::SeqCst);
+            self.announce[tid].store(e, Ordering::SeqCst);
+            if self.clock.load(Ordering::SeqCst) == e {
+                break e;
+            }
+            // The clock moved while we announced: re-register so we never
+            // start an operation in the in-flight epoch.
+            self.announce[tid].store(EMPTY_EPOCH, Ordering::SeqCst);
+        };
+        let mut st = self.threads[tid].lock();
+        debug_assert_eq!(st.op_epoch, EMPTY_EPOCH, "begin_op inside an operation");
+        st.op_epoch = e;
+        let buf = &st.bufs[(e % BUF_GENS as u64) as usize];
+        let (pm, rm) = (buf.persist.len(), buf.retire.len());
+        st.persist_mark = pm;
+        st.retire_mark = rm;
+        e
+    }
+
+    /// Schedules the operation's tracked writes for background
+    /// persistence and deregisters the thread.
+    pub fn end_op(&self) {
+        if self.disabled {
+            return;
+        }
+        let tid = thread_id();
+        self.threads[tid].lock().op_epoch = EMPTY_EPOCH;
+        self.announce[tid].store(EMPTY_EPOCH, Ordering::SeqCst);
+    }
+
+    /// Deregisters the thread and discards everything the current
+    /// operation tracked (used to restart in a newer epoch after an
+    /// [`OLD_SEE_NEW`] abort).
+    pub fn abort_op(&self) {
+        if self.disabled {
+            return;
+        }
+        let tid = thread_id();
+        let mut st = self.threads[tid].lock();
+        if st.op_epoch != EMPTY_EPOCH {
+            let (pm, rm) = (st.persist_mark, st.retire_mark);
+            let idx = (st.op_epoch % BUF_GENS as u64) as usize;
+            let buf = &mut st.bufs[idx];
+            buf.persist.truncate(pm);
+            buf.retire.truncate(rm);
+            st.op_epoch = EMPTY_EPOCH;
+        }
+        drop(st);
+        self.announce[tid].store(EMPTY_EPOCH, Ordering::SeqCst);
+    }
+
+    // ----- Table 2: memory management ------------------------------------
+
+    /// Allocates an NVM block able to hold `payload_words` of payload.
+    /// The block carries [`INVALID_EPOCH`] until [`EpochSys::set_epoch`]
+    /// claims it inside a transaction; recovery reclaims unclaimed blocks.
+    ///
+    /// The allocator flushes its metadata, so calling this inside a
+    /// hardware transaction aborts it — preallocate (Listing 1 line 10).
+    ///
+    /// If the allocator panics (heap exhaustion), the current operation
+    /// is aborted before the panic propagates, so the thread's epoch
+    /// announcement is cleared and [`EpochSys::advance`] — which waits
+    /// for every announced operation — cannot deadlock on a thread that
+    /// died mid-operation.
+    pub fn p_new(&self, payload_words: u64) -> NvmAddr {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.alloc.alloc_for_payload(payload_words)
+        })) {
+            Ok(blk) => blk,
+            Err(payload) => {
+                self.abort_op();
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Tracks `blk` for persistence in the current operation's epoch.
+    /// Call after the transaction that published the block commits
+    /// (Listing 1 line 52).
+    pub fn p_track(&self, blk: NvmAddr) {
+        if self.disabled {
+            return;
+        }
+        let tid = thread_id();
+        let mut st = self.threads[tid].lock();
+        let e = st.op_epoch;
+        debug_assert_ne!(e, EMPTY_EPOCH, "p_track outside an operation");
+        st.bufs[(e % BUF_GENS as u64) as usize].persist.push(blk);
+        drop(st);
+        // Make the block's lines visible to the eviction injector.
+        if let Some((_, class)) = Header::state(&self.heap, blk) {
+            let mut w = 0;
+            while w < CLASS_WORDS[class] {
+                self.heap.mark_dirty(blk.offset(w));
+                w += nvm_sim::WORDS_PER_LINE;
+            }
+        }
+    }
+
+    /// Marks `blk` deleted in the current operation's epoch and schedules
+    /// it for reclamation once the deletion is durable (Listing 1
+    /// line 51). The block stays readable until then, so a crash that
+    /// discards this epoch can resurrect it.
+    pub fn p_retire(&self, blk: NvmAddr) {
+        let (_, class) = Header::state(&self.heap, blk).expect("p_retire of a non-block");
+        if self.disabled {
+            self.alloc.free(blk);
+            return;
+        }
+        let tid = thread_id();
+        let mut st = self.threads[tid].lock();
+        let e = st.op_epoch;
+        debug_assert_ne!(e, EMPTY_EPOCH, "p_retire outside an operation");
+        mark_deleted(&self.heap, blk, class, e);
+        st.bufs[(e % BUF_GENS as u64) as usize].retire.push(blk);
+    }
+
+    /// Immediately reclaims a block that was never published (e.g. a
+    /// preallocated block discarded at shutdown). Flushes, so it aborts
+    /// an enclosing transaction.
+    pub fn p_delete(&self, blk: NvmAddr) {
+        self.alloc.free(blk);
+    }
+
+    // ----- Table 2: transactional block accessors -------------------------
+
+    /// Transactionally reads the epoch a block was tracked in.
+    pub fn get_epoch<'e>(
+        &'e self,
+        m: &mut dyn MemAccess<'e>,
+        blk: NvmAddr,
+    ) -> TxResult<u64> {
+        m.load(self.heap.word(blk.offset(HDR_EPOCH)))
+    }
+
+    /// Transactionally claims a block for `epoch` (Listing 1 line 17).
+    /// Must happen before the operation's linearization point so that
+    /// concurrent readers can classify the block.
+    pub fn set_epoch<'e>(
+        &'e self,
+        m: &mut dyn MemAccess<'e>,
+        blk: NvmAddr,
+        epoch: u64,
+    ) -> TxResult<()> {
+        m.store(self.heap.word(blk.offset(HDR_EPOCH)), epoch)
+    }
+
+    /// The Listing 1 lines 20–29 decision: given an existing block and
+    /// the operation's epoch, either update in place (same epoch),
+    /// replace out-of-place (older epoch), or abort with [`OLD_SEE_NEW`]
+    /// (newer epoch — BDL forbids an old operation overwriting newer
+    /// state).
+    pub fn classify_update<'e>(
+        &'e self,
+        m: &mut dyn MemAccess<'e>,
+        blk: NvmAddr,
+        op_epoch: u64,
+    ) -> TxResult<UpdateKind> {
+        let be = self.get_epoch(m, blk)?;
+        if be > op_epoch {
+            Err(m.abort(OLD_SEE_NEW))
+        } else if be < op_epoch {
+            Ok(UpdateKind::Replace)
+        } else {
+            Ok(UpdateKind::InPlace)
+        }
+    }
+
+    /// Transactionally writes payload word `idx` of `blk` (in-place
+    /// update, Listing 1 line 29). The new value is persisted with the
+    /// block's epoch buffer.
+    pub fn p_set<'e>(
+        &'e self,
+        m: &mut dyn MemAccess<'e>,
+        blk: NvmAddr,
+        idx: u64,
+        val: u64,
+    ) -> TxResult<()> {
+        m.store(self.heap.word(payload(blk, idx)), val)
+    }
+
+    /// Transactionally reads payload word `idx` of `blk`.
+    pub fn p_get<'e>(
+        &'e self,
+        m: &mut dyn MemAccess<'e>,
+        blk: NvmAddr,
+        idx: u64,
+    ) -> TxResult<u64> {
+        m.load(self.heap.word(payload(blk, idx)))
+    }
+
+    /// The raw payload word atomic, for non-transactional initialization
+    /// of still-private blocks.
+    pub fn payload_word(&self, blk: NvmAddr, idx: u64) -> &AtomicU64 {
+        self.heap.word(payload(blk, idx))
+    }
+
+    // ----- epoch advancement ----------------------------------------------
+
+    /// Performs one epoch transition `e → e+1`:
+    /// waits for operations to leave epoch `e−1`, flushes everything
+    /// tracked there, persists the frontier `R = e−1`, reclaims blocks
+    /// retired in `e−1`, and publishes the new clock.
+    ///
+    /// Normally driven by an [`EpochTicker`](crate::EpochTicker);
+    /// callable directly for tests and deterministic experiments.
+    pub fn advance(&self) {
+        if self.disabled {
+            return;
+        }
+        let _g = self.advance_lock.lock();
+        let e = self.clock.load(Ordering::SeqCst);
+
+        // 1. Wait for stragglers in epochs < e (the in-flight epoch e−1
+        //    must quiesce before its buffers are stable).
+        for slot in self.announce.iter() {
+            loop {
+                let a = slot.load(Ordering::SeqCst);
+                if a == EMPTY_EPOCH || a >= e {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+
+        // 2. Drain every thread's epoch e−1 buffers.
+        let idx = ((e - 1) % BUF_GENS as u64) as usize;
+        let mut persist_list = Vec::new();
+        let mut retire_list = Vec::new();
+        for t in self.threads.iter() {
+            let mut st = t.lock();
+            persist_list.append(&mut st.bufs[idx].persist);
+            retire_list.append(&mut st.bufs[idx].retire);
+        }
+
+        // 3. Flush tracked blocks and retirement records to media.
+        let mut words = 0u64;
+        for &blk in &persist_list {
+            if let Some((_, class)) = Header::state(&self.heap, blk) {
+                self.heap.persist_range(blk, CLASS_WORDS[class]);
+                words += CLASS_WORDS[class];
+            }
+        }
+        for &blk in &retire_list {
+            self.heap.persist_range(blk, HDR_WORDS);
+            words += HDR_WORDS;
+        }
+        self.heap.fence();
+
+        // 4. Persist the frontier: epochs ≤ e−1 are now durable.
+        let r = e - 1;
+        self.heap.write(self.heap.root(ROOT_FRONTIER), r);
+        self.heap.clwb(self.heap.root(ROOT_FRONTIER));
+        self.heap.fence();
+        self.frontier.store(r, Ordering::SeqCst);
+
+        // 5. Reclaim retired blocks — their deletion records are durable,
+        //    so recovery can never resurrect them.
+        let reclaimed = retire_list.len() as u64;
+        for blk in retire_list {
+            self.alloc.free(blk);
+        }
+
+        // 6. Open the next epoch.
+        self.clock.store(e + 1, Ordering::SeqCst);
+
+        self.stats.advances.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .blocks_persisted
+            .fetch_add(persist_list.len() as u64, Ordering::Relaxed);
+        self.stats.words_persisted.fetch_add(words, Ordering::Relaxed);
+        self.stats
+            .blocks_reclaimed
+            .fetch_add(reclaimed, Ordering::Relaxed);
+    }
+
+    /// Advances until every epoch `≤ epoch` is durable.
+    pub fn advance_until(&self, epoch: u64) {
+        while !self.disabled && self.persisted_frontier() < epoch {
+            self.advance();
+        }
+    }
+
+    /// Makes everything completed so far durable (two transitions).
+    pub fn flush_all(&self) {
+        if self.disabled {
+            return;
+        }
+        let e = self.current_epoch();
+        self.advance_until(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_sim::NvmConfig;
+    use persist_alloc::INVALID_EPOCH;
+
+    fn fresh() -> Arc<EpochSys> {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(8 << 20)));
+        EpochSys::format(heap, EpochConfig::manual())
+    }
+
+    #[test]
+    fn epochs_advance_and_frontier_follows() {
+        let es = fresh();
+        assert_eq!(es.current_epoch(), EPOCH_START);
+        assert_eq!(es.persisted_frontier(), EPOCH_START - 1);
+        es.advance();
+        assert_eq!(es.current_epoch(), EPOCH_START + 1);
+        // The first advance flushes epoch EPOCH_START−1 (empty): the
+        // frontier trails the clock by exactly two, per the paper's
+        // "crash in epoch e recovers to the end of epoch e−2".
+        assert_eq!(es.persisted_frontier(), EPOCH_START - 1);
+        es.advance();
+        assert_eq!(es.current_epoch(), EPOCH_START + 2);
+        assert_eq!(es.persisted_frontier(), EPOCH_START);
+    }
+
+    #[test]
+    fn op_bracketing_tracks_epoch() {
+        let es = fresh();
+        let e = es.begin_op();
+        assert_eq!(e, EPOCH_START);
+        es.end_op();
+        es.advance();
+        let e2 = es.begin_op();
+        assert_eq!(e2, EPOCH_START + 1);
+        es.end_op();
+    }
+
+    #[test]
+    fn advance_waits_for_inflight_ops() {
+        use std::sync::atomic::AtomicBool;
+        let es = fresh();
+        let release = Arc::new(AtomicBool::new(false));
+        let advanced = Arc::new(AtomicBool::new(false));
+        crossbeam::thread::scope(|s| {
+            // Worker begins an op in EPOCH_START and stalls.
+            let es2 = Arc::clone(&es);
+            let release2 = Arc::clone(&release);
+            let w = s.spawn(move |_| {
+                let _e = es2.begin_op();
+                while !release2.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                es2.end_op();
+            });
+            // Let the worker register.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            // First advance (to EPOCH_START+1) does not need the worker.
+            es.advance();
+            // Second advance must wait for the worker to leave EPOCH_START.
+            let es3 = Arc::clone(&es);
+            let advanced2 = Arc::clone(&advanced);
+            let a = s.spawn(move |_| {
+                es3.advance();
+                advanced2.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            assert!(
+                !advanced.load(Ordering::SeqCst),
+                "advance must block on the in-flight operation"
+            );
+            release.store(true, Ordering::SeqCst);
+            a.join().unwrap();
+            w.join().unwrap();
+        })
+        .unwrap();
+        assert!(advanced.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn tracked_block_becomes_durable_after_two_advances() {
+        let es = fresh();
+        let e = es.begin_op();
+        let blk = es.p_new(2);
+        es.payload_word(blk, 0).store(0xFEED, Ordering::Release);
+        Header::set_epoch(es.heap(), blk, e);
+        es.p_track(blk);
+        es.end_op();
+
+        // Not yet durable: only the allocation record is on media.
+        let img = es.heap().crash();
+        assert_eq!(img.word(payload(blk, 0)), 0);
+
+        es.advance();
+        es.advance();
+        let img = es.heap().crash();
+        assert_eq!(img.word(payload(blk, 0)), 0xFEED);
+        assert_eq!(img.word(blk.offset(HDR_EPOCH)), e);
+    }
+
+    #[test]
+    fn classify_update_matches_listing1() {
+        use htm_sim::{Htm, HtmConfig};
+        let es = fresh();
+        let htm = Htm::new(HtmConfig::for_tests());
+
+        let e = es.begin_op();
+        let blk = es.p_new(1);
+        Header::set_epoch(es.heap(), blk, e);
+        es.p_track(blk);
+        es.end_op();
+
+        // Same epoch: in place.
+        let es2 = Arc::clone(&es);
+        let r = htm.attempt(|t| es2.classify_update(t, blk, e));
+        assert_eq!(r.unwrap(), UpdateKind::InPlace);
+
+        // Later op epoch: replace.
+        let r = htm.attempt(|t| es2.classify_update(t, blk, e + 1));
+        assert_eq!(r.unwrap(), UpdateKind::Replace);
+
+        // Older op epoch: OldSeeNewException.
+        let r = htm.attempt(|t| es2.classify_update(t, blk, e - 1));
+        assert_eq!(
+            r.unwrap_err(),
+            htm_sim::AbortCause::Explicit(OLD_SEE_NEW)
+        );
+    }
+
+    #[test]
+    fn abort_op_discards_tracking() {
+        let es = fresh();
+        let _e = es.begin_op();
+        let blk = es.p_new(1);
+        es.p_track(blk);
+        es.abort_op();
+        // Nothing should be flushed for the aborted op.
+        es.advance();
+        es.advance();
+        let s = es.stats();
+        assert_eq!(s.blocks_persisted.load(Ordering::Relaxed), 0);
+        // The block itself still exists (allocated, INVALID_EPOCH): it is
+        // the caller's preallocated new_blk, reusable by the next op.
+        assert_eq!(Header::epoch(es.heap(), blk), INVALID_EPOCH);
+    }
+
+    #[test]
+    fn retired_block_is_reclaimed_after_durability() {
+        let es = fresh();
+        // Publish a block in epoch 2.
+        let e = es.begin_op();
+        let blk = es.p_new(1);
+        Header::set_epoch(es.heap(), blk, e);
+        es.p_track(blk);
+        es.end_op();
+        es.advance(); // epoch 3; blk's epoch (2) flushes at the next advance
+
+        // Replace it in epoch 3.
+        let e2 = es.begin_op();
+        assert_eq!(e2, e + 1);
+        let blk2 = es.p_new(1);
+        Header::set_epoch(es.heap(), blk2, e2);
+        es.p_track(blk2);
+        es.p_retire(blk);
+        es.end_op();
+
+        let live_before = es.alloc_stats().live_blocks[0];
+        es.advance(); // flushes epoch 2 (blk's creation)
+        es.advance(); // flushes epoch 3 (blk2 + blk's retirement), reclaims blk
+        assert_eq!(es.alloc_stats().live_blocks[0], live_before - 1);
+        assert_eq!(
+            es.stats().blocks_reclaimed.load(Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn eadr_disables_tracking() {
+        let heap = Arc::new(NvmHeap::new(
+            NvmConfig::for_tests(4 << 20).with_eadr(true),
+        ));
+        let es = EpochSys::format(heap, EpochConfig::manual());
+        assert!(es.is_disabled());
+        let e = es.begin_op();
+        let blk = es.p_new(1);
+        es.payload_word(blk, 0).store(77, Ordering::Release);
+        Header::set_epoch(es.heap(), blk, e);
+        es.p_track(blk);
+        es.end_op();
+        // Durable immediately: eADR crash preserves the volatile image.
+        let img = es.heap().crash();
+        assert_eq!(img.word(payload(blk, 0)), 77);
+    }
+
+    #[test]
+    fn prealloc_slots_reuse_and_reset_epochs() {
+        let es = fresh();
+        let slots = PreallocSlots::new(2);
+        let _e = es.begin_op();
+        let b1 = slots.take(&es);
+        assert_eq!(Header::epoch(es.heap(), b1), INVALID_EPOCH);
+        // Simulate an interrupted operation that had claimed an epoch.
+        Header::set_epoch(es.heap(), b1, 7);
+        slots.put_back(b1);
+        let b2 = slots.take(&es);
+        assert_eq!(b2, b1, "same thread reuses its spare block");
+        assert_eq!(
+            Header::epoch(es.heap(), b2),
+            INVALID_EPOCH,
+            "take() must reset a stale epoch (the Sec. 5 rule)"
+        );
+        es.end_op();
+        slots.put_back(b2);
+        let live = es.alloc_stats().live_blocks[0];
+        slots.drain(&es);
+        assert_eq!(es.alloc_stats().live_blocks[0], live - 1);
+    }
+
+    #[test]
+    fn allocator_panic_inside_op_does_not_stall_advance() {
+        // Exhaust a tiny heap through p_new while registered in an op:
+        // the panic must leave the announcement cleared so advance()
+        // still completes (the ticker must never deadlock on a thread
+        // that died mid-operation).
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(1 << 20)));
+        let es = EpochSys::format(heap, EpochConfig::manual());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _e = es.begin_op();
+            loop {
+                let blk = es.p_new(500); // 4 KiB blocks: exhausts fast
+                es.p_track(blk);
+            }
+        }));
+        assert!(r.is_err(), "exhaustion must surface as a panic");
+        // The dead operation's announcement is gone: advance completes.
+        es.advance();
+        es.advance();
+    }
+
+    #[test]
+    fn concurrent_ops_and_advances_smoke() {
+        let es = fresh();
+        let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let workers = 4;
+        let ops_per_worker = 1500u64;
+        crossbeam::thread::scope(|s| {
+            for w in 0..workers as u64 {
+                let es = Arc::clone(&es);
+                let done = Arc::clone(&done);
+                s.spawn(move |_| {
+                    let mut prev: Option<NvmAddr> = None;
+                    for _ in 0..ops_per_worker {
+                        let e = es.begin_op();
+                        let blk = es.p_new(2);
+                        es.payload_word(blk, 0).store(e + w, Ordering::Release);
+                        Header::set_epoch(es.heap(), blk, e);
+                        es.p_track(blk);
+                        // Retire the previous block so space is recycled.
+                        if let Some(p) = prev.take() {
+                            if Header::epoch(es.heap(), p) < e {
+                                es.p_retire(p);
+                            }
+                        }
+                        prev = Some(blk);
+                        es.end_op();
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            let es2 = Arc::clone(&es);
+            let done2 = Arc::clone(&done);
+            s.spawn(move |_| {
+                while done2.load(Ordering::SeqCst) < workers {
+                    es2.advance();
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                es2.advance();
+                es2.advance();
+            });
+        })
+        .unwrap();
+        assert!(es.stats().advances.load(Ordering::Relaxed) >= 2);
+        assert!(es.stats().blocks_persisted.load(Ordering::Relaxed) > 0);
+        assert!(es.stats().blocks_reclaimed.load(Ordering::Relaxed) > 0);
+    }
+}

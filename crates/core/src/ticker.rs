@@ -1,0 +1,98 @@
+//! The background epoch-advancing thread ("a background thread increments
+//! the value of a global clock every few milliseconds", §3).
+
+use crate::esys::EpochSys;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Owns the background thread that advances epochs every
+/// [`EpochConfig::epoch_len`](crate::EpochConfig). Stops (and joins) on
+/// drop.
+pub struct EpochTicker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl EpochTicker {
+    /// Spawns the advancer. With sub-millisecond epoch lengths (the
+    /// paper's 1 µs sweep points) the thread spins instead of sleeping.
+    pub fn spawn(esys: Arc<EpochSys>) -> EpochTicker {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("bdhtm-epoch-ticker".into())
+            .spawn(move || {
+                let len = esys.config().epoch_len;
+                // Sleep in bounded slices so stop()/drop never waits a
+                // full (possibly multi-second) epoch for the thread.
+                let slice = Duration::from_millis(20);
+                while !stop2.load(Ordering::Relaxed) {
+                    if len >= Duration::from_millis(1) {
+                        let t = Instant::now();
+                        while t.elapsed() < len && !stop2.load(Ordering::Relaxed) {
+                            std::thread::sleep(slice.min(len - t.elapsed().min(len)));
+                        }
+                    } else {
+                        let t = Instant::now();
+                        while t.elapsed() < len {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    esys.advance();
+                }
+            })
+            .expect("spawn epoch ticker");
+        EpochTicker {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the ticker and waits for it to exit.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for EpochTicker {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EpochConfig;
+    use nvm_sim::{NvmConfig, NvmHeap};
+
+    #[test]
+    fn ticker_advances_epochs() {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(2 << 20)));
+        let es = EpochSys::format(
+            heap,
+            EpochConfig::manual().with_epoch_len(Duration::from_millis(2)),
+        );
+        let before = es.current_epoch();
+        let ticker = EpochTicker::spawn(Arc::clone(&es));
+        std::thread::sleep(Duration::from_millis(60));
+        ticker.stop();
+        let after = es.current_epoch();
+        assert!(
+            after >= before + 5,
+            "expected several epoch advances, got {before} -> {after}"
+        );
+    }
+}

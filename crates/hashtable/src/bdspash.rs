@@ -1,0 +1,579 @@
+//! BD-Spash: the §4.3 back-port of Spash to plain-ADR machines.
+//!
+//! Directory and bucket metadata move to DRAM; each entry points at a KV
+//! block in NVM managed by the epoch system, which supplies buffered
+//! durability where eADR used to supply it for free. The hotspot detector
+//! keeps its job with a new meaning: **large cold** values are written
+//! back immediately (optimizing cache residency and NVM bandwidth, and
+//! sparing the epoch flusher the work), while small or hot values ride
+//! the epoch buffers — whose end-of-epoch batching naturally coalesces
+//! adjacent writes, which is why BD-Spash drops Spash's small-write
+//! chunking (§4.3). If the heap reports eADR, the epoch system disables
+//! itself and BD-Spash runs Spash-style.
+
+use crate::hash64;
+use crate::hotspot::HotspotDetector;
+use bdhtm_core::{payload, EpochSys, LiveBlock, PreallocSlots, UpdateKind, OLD_SEE_NEW};
+use htm_sim::{FallbackLock, Htm, MemAccess, RunError, TxResult};
+use nvm_sim::NvmAddr;
+use parking_lot::RwLock;
+use persist_alloc::{class_for_payload, Header, CLASS_WORDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Block tag identifying BD-Spash KV blocks.
+pub const BDSPASH_KV_TAG: u64 = 0x4244_5350; // "BDSP"
+
+const P_KEY: u64 = 0;
+const P_VAL: u64 = 1; // value words follow
+
+/// DRAM segment geometry: 64 buckets of 8 slots.
+const NBUCKETS: usize = 64;
+const BUCKET_SLOTS: usize = 8;
+const SEG_SLOTS: usize = NBUCKETS * BUCKET_SLOTS;
+
+/// A value block counts as "large" (eagerly persisted when cold) from
+/// this size class upward (256 B = one XPLine).
+const LARGE_CLASS: usize = 2;
+
+struct Segment {
+    local_depth: u32,
+    /// NVM block pointers (0 = empty).
+    slots: Box<[AtomicU64; SEG_SLOTS]>,
+}
+
+impl Segment {
+    fn boxed(local_depth: u32) -> Arc<Segment> {
+        Arc::new(Segment {
+            local_depth,
+            slots: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+        })
+    }
+}
+
+struct Directory {
+    global_depth: u32,
+    segments: Vec<Arc<Segment>>,
+}
+
+enum Outcome {
+    Inserted,
+    Replaced(NvmAddr),
+    InPlace(NvmAddr),
+    Removed(NvmAddr),
+    Absent,
+    NeedSplit,
+}
+
+/// The buffered-durable Spash back-port.
+pub struct BdSpash {
+    esys: Arc<EpochSys>,
+    htm: Arc<Htm>,
+    lock: FallbackLock,
+    dir: RwLock<Directory>,
+    hotspot: HotspotDetector,
+    /// Payload words per value (1 = the paper's 8-byte values; larger
+    /// values exercise the large-cold eager-persist path).
+    value_words: u64,
+    new_blk: PreallocSlots,
+}
+
+impl BdSpash {
+    pub fn new(esys: Arc<EpochSys>, htm: Arc<Htm>) -> Self {
+        Self::with_value_words(esys, htm, 1)
+    }
+
+    /// A table whose values occupy `value_words` 8-byte words.
+    pub fn with_value_words(esys: Arc<EpochSys>, htm: Arc<Htm>, value_words: u64) -> Self {
+        assert!(value_words >= 1);
+        Self {
+            esys,
+            htm,
+            lock: FallbackLock::new(),
+            dir: RwLock::new(Directory {
+                global_depth: 1,
+                segments: vec![Segment::boxed(1), Segment::boxed(1)],
+            }),
+            hotspot: HotspotDetector::new(1 << 16, 4),
+            value_words,
+            new_blk: PreallocSlots::new(1 + value_words),
+        }
+    }
+
+    pub fn epoch_sys(&self) -> &Arc<EpochSys> {
+        &self.esys
+    }
+
+    pub fn htm(&self) -> &Htm {
+        &self.htm
+    }
+
+    pub fn nvm_bytes(&self) -> u64 {
+        self.esys.alloc_stats().bytes_in_use()
+    }
+
+    fn kv_payload_words(&self) -> u64 {
+        1 + self.value_words
+    }
+
+    /// Whether this table's KV blocks are "large" (eager-persist class).
+    fn blocks_are_large(&self) -> bool {
+        class_for_payload(self.kv_payload_words())
+            .map(|c| c >= LARGE_CLASS)
+            .unwrap_or(false)
+    }
+
+    #[inline]
+    fn bucket_of(h: u64) -> usize {
+        ((h >> 32) as usize) % NBUCKETS
+    }
+
+    /// Transactional bucket scan over a DRAM segment.
+    fn scan<'e>(
+        &'e self,
+        m: &mut dyn MemAccess<'e>,
+        seg: &'e Segment,
+        bucket: usize,
+        key: u64,
+    ) -> TxResult<(Option<(usize, NvmAddr)>, Option<usize>)> {
+        let heap = self.esys.heap();
+        let mut free = None;
+        for i in 0..BUCKET_SLOTS {
+            let idx = bucket * BUCKET_SLOTS + i;
+            let blk = m.load(&seg.slots[idx])?;
+            if blk == 0 {
+                if free.is_none() {
+                    free = Some(idx);
+                }
+                continue;
+            }
+            let k = m.load(heap.word(payload(NvmAddr(blk), P_KEY)))?;
+            if k == key {
+                return Ok((Some((idx, NvmAddr(blk))), free));
+            }
+        }
+        Ok((None, free))
+    }
+
+    /// Persistence policy after a committed write: large cold blocks are
+    /// flushed immediately; everything else is tracked for the epoch
+    /// flusher (the coalescing argument of §4.3).
+    fn persist_policy(&self, blk: NvmAddr, hot: bool) {
+        if !hot && self.blocks_are_large() {
+            // Eager write-back: the data reaches media now (freeing cache
+            // and spreading NVM bandwidth), and the epoch flusher skips it
+            // entirely. Visibility to recovery is still gated by the
+            // epoch frontier, so durability semantics are unchanged. An
+            // in-place update of such a block later in the same epoch
+            // re-tracks it (see the `InPlace` arm of `insert`).
+            let heap = self.esys.heap();
+            let class = Header::state(heap, blk).map(|(_, c)| c).unwrap_or(0);
+            heap.persist_range(blk, CLASS_WORDS[class]);
+            heap.fence();
+            return;
+        }
+        self.esys.p_track(blk);
+    }
+
+    /// Inserts or updates `key`. Returns `true` if newly inserted. The
+    /// value's first word is `value`; remaining value words (if
+    /// `value_words > 1`) are filled with `value` rotated (deterministic
+    /// filler standing in for a payload).
+    pub fn insert(&self, key: u64, value: u64) -> bool {
+        let h = hash64(key);
+        let hot = self.hotspot.touch(h);
+        let heap = self.esys.heap();
+        loop {
+            let op_epoch = self.esys.begin_op();
+            let blk = self.new_blk.take(&self.esys); // epoch reset to INVALID
+            heap.word(payload(blk, P_KEY)).store(key, Ordering::Release);
+            for w in 0..self.value_words {
+                heap.word(payload(blk, P_VAL + w))
+                    .store(value.rotate_left(w as u32), Ordering::Release);
+            }
+            Header::set_tag(heap, blk, BDSPASH_KV_TAG);
+
+            let dir = self.dir.read();
+            let seg = Arc::clone(
+                &dir.segments[(h & ((1 << dir.global_depth) - 1)) as usize],
+            );
+            let bucket = Self::bucket_of(h);
+            let result = self.htm.run(&self.lock, |m| {
+                self.esys.set_epoch(m, blk, op_epoch)?;
+                let (found, free) = self.scan(m, &seg, bucket, key)?;
+                match (found, free) {
+                    (Some((_, old_blk)), _) => {
+                        match self.esys.classify_update(m, old_blk, op_epoch)? {
+                            UpdateKind::InPlace => {
+                                self.esys.p_set(m, old_blk, P_VAL, value)?;
+                                Ok(Outcome::InPlace(old_blk))
+                            }
+                            UpdateKind::Replace => {
+                                let (idx, _) = found.unwrap();
+                                m.store(&seg.slots[idx], blk.0)?;
+                                Ok(Outcome::Replaced(old_blk))
+                            }
+                        }
+                    }
+                    (None, Some(idx)) => {
+                        m.store(&seg.slots[idx], blk.0)?;
+                        Ok(Outcome::Inserted)
+                    }
+                    (None, None) => Ok(Outcome::NeedSplit),
+                }
+            });
+            drop(dir);
+
+            match result {
+                Err(RunError(code)) => {
+                    debug_assert_eq!(code, OLD_SEE_NEW);
+                    self.new_blk.put_back(blk);
+                    self.esys.abort_op();
+                }
+                Ok(Outcome::NeedSplit) => {
+                    self.new_blk.put_back(blk);
+                    self.esys.abort_op();
+                    self.split(h);
+                }
+                Ok(outcome) => {
+                    let inserted = match outcome {
+                        Outcome::InPlace(updated) => {
+                            self.new_blk.put_back(blk);
+                            if self.blocks_are_large() {
+                                // The updated block may have been eagerly
+                                // persisted and skipped by the flusher:
+                                // re-track so the new value reaches media.
+                                self.esys.p_track(updated);
+                            }
+                            false
+                        }
+                        Outcome::Replaced(old) => {
+                            self.esys.p_retire(old);
+                            self.persist_policy(blk, hot);
+                            false
+                        }
+                        Outcome::Inserted => {
+                            self.persist_policy(blk, hot);
+                            true
+                        }
+                        _ => unreachable!(),
+                    };
+                    self.esys.end_op();
+                    return inserted;
+                }
+            }
+        }
+    }
+
+    /// Removes `key`. Returns `true` if present.
+    pub fn remove(&self, key: u64) -> bool {
+        let h = hash64(key);
+        self.hotspot.touch(h);
+        loop {
+            let op_epoch = self.esys.begin_op();
+            let dir = self.dir.read();
+            let seg = Arc::clone(
+                &dir.segments[(h & ((1 << dir.global_depth) - 1)) as usize],
+            );
+            let bucket = Self::bucket_of(h);
+            let result = self.htm.run(&self.lock, |m| {
+                let (found, _) = self.scan(m, &seg, bucket, key)?;
+                match found {
+                    None => Ok(Outcome::Absent),
+                    Some((idx, blk)) => {
+                        let be = self.esys.get_epoch(m, blk)?;
+                        if be > op_epoch {
+                            return Err(m.abort(OLD_SEE_NEW));
+                        }
+                        m.store(&seg.slots[idx], 0)?;
+                        Ok(Outcome::Removed(blk))
+                    }
+                }
+            });
+            drop(dir);
+            match result {
+                Err(RunError(code)) => {
+                    debug_assert_eq!(code, OLD_SEE_NEW);
+                    self.esys.abort_op();
+                }
+                Ok(Outcome::Absent) => {
+                    self.esys.end_op();
+                    return false;
+                }
+                Ok(Outcome::Removed(blk)) => {
+                    self.esys.p_retire(blk);
+                    self.esys.end_op();
+                    return true;
+                }
+                Ok(_) => unreachable!(),
+            }
+        }
+    }
+
+    /// The first value word of `key`, if present.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let h = hash64(key);
+        self.hotspot.touch(h);
+        let dir = self.dir.read();
+        let seg = Arc::clone(&dir.segments[(h & ((1 << dir.global_depth) - 1)) as usize]);
+        let bucket = Self::bucket_of(h);
+        let r = self
+            .htm
+            .run(&self.lock, |m| {
+                let (found, _) = self.scan(m, &seg, bucket, key)?;
+                match found {
+                    None => Ok(None),
+                    Some((_, blk)) => Ok(Some(self.esys.p_get(m, blk, P_VAL)?)),
+                }
+            })
+            .expect("lookups raise no explicit aborts");
+        if r.is_some() {
+            self.esys.heap().charge_media_read();
+        }
+        r
+    }
+
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Splits the segment covering `h`, doubling the directory when the
+    /// local depth has reached the global depth.
+    fn split(&self, h: u64) {
+        let heap = self.esys.heap();
+        let mut dir = self.dir.write();
+        let mask = (1u64 << dir.global_depth) - 1;
+        let idx = (h & mask) as usize;
+        let old = Arc::clone(&dir.segments[idx]);
+        let ld = old.local_depth;
+        if ld == dir.global_depth {
+            let n = dir.segments.len();
+            let mut segs = Vec::with_capacity(2 * n);
+            segs.extend(dir.segments.iter().cloned());
+            segs.extend(dir.segments.iter().cloned());
+            dir.segments = segs;
+            dir.global_depth += 1;
+        }
+        let a = Segment::boxed(ld + 1);
+        let b = Segment::boxed(ld + 1);
+        for s in 0..SEG_SLOTS {
+            let blk = old.slots[s].load(Ordering::Acquire);
+            if blk == 0 {
+                continue;
+            }
+            let k = heap.word(payload(NvmAddr(blk), P_KEY)).load(Ordering::Acquire);
+            let hk = hash64(k);
+            let tgt = if hk & (1 << ld) == 0 { &a } else { &b };
+            let bucket = Self::bucket_of(hk);
+            let slot = (0..BUCKET_SLOTS)
+                .map(|i| bucket * BUCKET_SLOTS + i)
+                .find(|&i| tgt.slots[i].load(Ordering::Relaxed) == 0)
+                .expect("split target bucket overflow");
+            tgt.slots[slot].store(blk, Ordering::Release);
+        }
+        let gd = dir.global_depth;
+        for e in 0..(1usize << gd) {
+            if Arc::ptr_eq(&dir.segments[e], &old) {
+                dir.segments[e] = if (e as u64) & (1 << ld) == 0 {
+                    Arc::clone(&a)
+                } else {
+                    Arc::clone(&b)
+                };
+            }
+        }
+    }
+
+    /// Rebuilds a table from recovered live blocks.
+    pub fn recover(esys: Arc<EpochSys>, htm: Arc<Htm>, live: &[LiveBlock]) -> BdSpash {
+        let t = BdSpash::new(esys, htm);
+        let heap = Arc::clone(t.esys.heap());
+        for b in live.iter().filter(|b| b.tag == BDSPASH_KV_TAG) {
+            let key = heap.word(payload(b.addr, P_KEY)).load(Ordering::Acquire);
+            let h = hash64(key);
+            loop {
+                let placed = {
+                    let dir = t.dir.read();
+                    let seg =
+                        Arc::clone(&dir.segments[(h & ((1 << dir.global_depth) - 1)) as usize]);
+                    let bucket = Self::bucket_of(h);
+                    (0..BUCKET_SLOTS)
+                        .map(|i| bucket * BUCKET_SLOTS + i)
+                        .find(|&i| seg.slots[i].load(Ordering::Relaxed) == 0)
+                        .inspect(|&i| seg.slots[i].store(b.addr.0, Ordering::Release))
+                        .is_some()
+                };
+                if placed {
+                    break;
+                }
+                t.split(h);
+            }
+        }
+        t
+    }
+
+    /// Reclaims per-thread preallocated blocks (clean shutdown).
+    pub fn drain_preallocated(&self) {
+        self.new_blk.drain(&self.esys);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdhtm_core::EpochConfig;
+    use htm_sim::HtmConfig;
+    use nvm_sim::{NvmConfig, NvmHeap};
+    use std::collections::HashMap;
+
+    fn setup() -> BdSpash {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(64 << 20)));
+        let esys = EpochSys::format(heap, EpochConfig::manual());
+        BdSpash::new(esys, Arc::new(Htm::new(HtmConfig::for_tests())))
+    }
+
+    #[test]
+    fn basic_semantics() {
+        let t = setup();
+        assert!(t.insert(9, 90));
+        assert!(!t.insert(9, 91));
+        assert_eq!(t.get(9), Some(91));
+        assert!(t.remove(9));
+        assert!(!t.remove(9));
+        assert_eq!(t.get(9), None);
+    }
+
+    #[test]
+    fn grows_with_splits() {
+        let t = setup();
+        let n = 10_000u64;
+        for k in 0..n {
+            t.insert(k, k + 5);
+        }
+        assert!(t.dir.read().global_depth > 1);
+        for k in 0..n {
+            assert_eq!(t.get(k), Some(k + 5), "key {k} lost in split");
+        }
+    }
+
+    #[test]
+    fn matches_oracle_with_epochs() {
+        let t = setup();
+        let mut oracle = HashMap::new();
+        let mut rng = 17u64;
+        for i in 0..12_000u64 {
+            if i % 900 == 0 {
+                t.epoch_sys().advance();
+            }
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            let key = rng % 4096;
+            match rng % 3 {
+                0 => assert_eq!(t.insert(key, i), oracle.insert(key, i).is_none()),
+                1 => assert_eq!(t.remove(key), oracle.remove(&key).is_some()),
+                _ => assert_eq!(t.get(key), oracle.get(&key).copied()),
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_ops_with_splits() {
+        let t = Arc::new(setup());
+        crossbeam::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let t = Arc::clone(&t);
+                s.spawn(move |_| {
+                    for i in 0..5000u64 {
+                        let k = tid * 1_000_000 + i;
+                        t.insert(k, k + 1);
+                        if i % 16 == 0 {
+                            assert_eq!(t.get(k), Some(k + 1));
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for tid in 0..4u64 {
+            for i in 0..5000u64 {
+                let k = tid * 1_000_000 + i;
+                assert_eq!(t.get(k), Some(k + 1), "lost {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_recovery_durable_prefix() {
+        let t = setup();
+        for k in 0..1000 {
+            t.insert(k, k * 2);
+        }
+        t.epoch_sys().advance();
+        t.epoch_sys().advance();
+        for k in 1000..1200 {
+            t.insert(k, k * 2); // lost
+        }
+        let heap2 = Arc::new(NvmHeap::from_image(t.epoch_sys().heap().crash()));
+        let (esys2, live) = EpochSys::recover(heap2, EpochConfig::manual(), 2);
+        let t2 = BdSpash::recover(esys2, Arc::new(Htm::new(HtmConfig::for_tests())), &live);
+        for k in 0..1000 {
+            assert_eq!(t2.get(k), Some(k * 2), "durable key {k} lost");
+        }
+        for k in 1000..1200 {
+            assert_eq!(t2.get(k), None, "undurable key {k} survived");
+        }
+    }
+
+    #[test]
+    fn eadr_heap_disables_epoch_tracking() {
+        let heap = Arc::new(NvmHeap::new(
+            NvmConfig::for_tests(32 << 20).with_eadr(true),
+        ));
+        let esys = EpochSys::format(heap, EpochConfig::manual());
+        assert!(esys.is_disabled());
+        let t = BdSpash::new(esys, Arc::new(Htm::new(HtmConfig::for_tests())));
+        for k in 0..500 {
+            t.insert(k, k);
+        }
+        // Everything committed survives an eADR crash, no advances needed.
+        let img = t.epoch_sys().heap().crash();
+        assert!(img.len_words() > 0);
+        for k in 0..500 {
+            assert_eq!(t.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn large_values_use_eager_persist_path() {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(64 << 20)));
+        let esys = EpochSys::format(heap, EpochConfig::manual());
+        // 40-word values → 41-word payload → class 3 (1 KiB): "large".
+        let t = BdSpash::with_value_words(
+            esys,
+            Arc::new(Htm::new(HtmConfig::for_tests())),
+            40,
+        );
+        assert!(t.blocks_are_large());
+        let before = t.epoch_sys().heap().stats().snapshot();
+        // Distinct (cold) keys: eager persistence fires per insert.
+        for k in 0..50 {
+            t.insert(k, k);
+        }
+        let delta = t.epoch_sys().heap().stats().snapshot().since(&before);
+        assert!(
+            delta.lines_written_back >= 50,
+            "large-cold inserts should flush eagerly: {}",
+            delta.lines_written_back
+        );
+        // And the epoch flusher has (almost) nothing left to do for them.
+        let flushed_before = t.epoch_sys().stats().blocks_persisted.load(Ordering::Relaxed);
+        t.epoch_sys().advance();
+        t.epoch_sys().advance();
+        let flushed_after = t.epoch_sys().stats().blocks_persisted.load(Ordering::Relaxed);
+        assert_eq!(
+            flushed_after - flushed_before,
+            0,
+            "eagerly persisted blocks must not be re-flushed"
+        );
+    }
+}

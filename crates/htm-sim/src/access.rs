@@ -1,0 +1,106 @@
+//! The [`MemAccess`] abstraction: one body of data-structure code runs both
+//! speculatively (inside a transaction) and under the global fallback lock.
+//!
+//! The paper's Listing 1 duplicates its logic between the transactional
+//! path and the "fallback path similar to lines 20–36". We instead let a
+//! structure express its operation once against `dyn MemAccess`, which is
+//! implemented by [`Txn`] (speculative) and [`LockedAccess`] (direct access
+//! under the [`FallbackLock`](crate::FallbackLock), with versioned stores
+//! so concurrent transactions still detect the holder's writes).
+
+use crate::htm::Htm;
+use crate::txn::{Abort, TxResult, Txn};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Uniform transactional-or-locked word access.
+pub trait MemAccess<'env> {
+    /// Reads a shared word.
+    fn load(&mut self, cell: &'env AtomicU64) -> TxResult<u64>;
+    /// Writes a shared word (speculative in a transaction, immediate and
+    /// versioned under the fallback lock).
+    fn store(&mut self, cell: &'env AtomicU64, val: u64) -> TxResult<()>;
+    /// Aborts with an explicit user code (`_xabort(code)`); under the
+    /// fallback lock this simply propagates the code to the caller of
+    /// [`Htm::run`](crate::Htm::run).
+    fn abort(&mut self, code: u8) -> Abort;
+    /// `true` when running speculatively.
+    fn is_txn(&self) -> bool;
+}
+
+impl<'env> MemAccess<'env> for Txn<'env> {
+    #[inline]
+    fn load(&mut self, cell: &'env AtomicU64) -> TxResult<u64> {
+        Txn::load(self, cell)
+    }
+
+    #[inline]
+    fn store(&mut self, cell: &'env AtomicU64, val: u64) -> TxResult<()> {
+        Txn::store(self, cell, val)
+    }
+
+    #[inline]
+    fn abort(&mut self, code: u8) -> Abort {
+        self.abort_explicit(code)
+    }
+
+    fn is_txn(&self) -> bool {
+        true
+    }
+}
+
+/// Direct access under the global fallback lock.
+///
+/// Loads are plain acquires (the holder runs in mutual exclusion with all
+/// transactions — see [`FallbackLock::acquire`](crate::FallbackLock::acquire)).
+/// Stores bump the stripe version of the written line so that transactions
+/// beginning after the critical section revalidate correctly.
+pub struct LockedAccess<'env> {
+    htm: &'env Htm,
+    explicit_code: Option<u8>,
+}
+
+impl<'env> LockedAccess<'env> {
+    pub(crate) fn new(htm: &'env Htm) -> Self {
+        Self {
+            htm,
+            explicit_code: None,
+        }
+    }
+
+    pub(crate) fn explicit_code(&self) -> Option<u8> {
+        self.explicit_code
+    }
+}
+
+impl<'env> MemAccess<'env> for LockedAccess<'env> {
+    #[inline]
+    fn load(&mut self, cell: &'env AtomicU64) -> TxResult<u64> {
+        Ok(cell.load(Ordering::Acquire))
+    }
+
+    #[inline]
+    fn store(&mut self, cell: &'env AtomicU64, val: u64) -> TxResult<()> {
+        let table = self.htm.table();
+        let idx = table.index_of(cell as *const AtomicU64 as usize);
+        loop {
+            let w = table.load(idx);
+            if !w.locked() && table.try_lock(idx, w) {
+                cell.store(val, Ordering::Release);
+                let v = self.htm.clock().fetch_add(1, Ordering::SeqCst) + 1;
+                table.unlock_with_version(idx, v);
+                return Ok(());
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    #[inline]
+    fn abort(&mut self, code: u8) -> Abort {
+        self.explicit_code = Some(code);
+        Abort
+    }
+
+    fn is_txn(&self) -> bool {
+        false
+    }
+}

@@ -1,0 +1,63 @@
+//! Configuration of the simulated best-effort HTM.
+
+/// Tunable parameters of the simulated HTM implementation.
+///
+/// Defaults model a TSX-era Intel core: a 32 KiB 8-way L1D bounds the
+/// speculative write set (512 lines), and the read set is tracked less
+/// precisely in a larger structure (we model the paper's "L1 plus a
+/// Bloom-filter summary of evicted lines" as a generous flat cap).
+#[derive(Clone, Debug)]
+pub struct HtmConfig {
+    /// Maximum number of distinct cache lines a transaction may write
+    /// before aborting with [`AbortCause::Capacity`](crate::AbortCause).
+    pub write_capacity_lines: usize,
+    /// Maximum number of (possibly duplicated) tracked reads before a
+    /// capacity abort. TSX read sets are summarized imprecisely; we use a
+    /// flat bound on tracked read entries.
+    pub read_capacity_entries: usize,
+    /// Probability (per transaction begin) of a spurious abort, modeling
+    /// timer interrupts, page faults and other transient TSX events.
+    pub spurious_abort_prob: f64,
+    /// Probability (per transaction begin) of an `ABORTED_MEMTYPE`-style
+    /// abort, reproducing the anomaly reported in §4.1 of the paper.
+    /// The paper observed these mainly at low thread counts on one of its
+    /// two machines; the probability here is applied unconditionally and
+    /// can be set per experiment.
+    pub memtype_abort_prob: f64,
+    /// Retries inside [`Htm::run`](crate::Htm::run) before taking the
+    /// global fallback lock.
+    pub max_retries: u32,
+}
+
+impl Default for HtmConfig {
+    fn default() -> Self {
+        Self {
+            write_capacity_lines: 512,
+            read_capacity_entries: 1 << 16,
+            spurious_abort_prob: 0.0,
+            memtype_abort_prob: 0.0,
+            max_retries: 16,
+        }
+    }
+}
+
+impl HtmConfig {
+    /// A configuration with abort injection disabled and small tables,
+    /// suitable for unit tests.
+    pub fn for_tests() -> Self {
+        Self::default()
+    }
+
+    /// Configuration reproducing the paper's troubled machine, where up to
+    /// half of low-thread-count transactions aborted with MEMTYPE (§4.1).
+    pub fn with_memtype_anomaly(mut self, prob: f64) -> Self {
+        self.memtype_abort_prob = prob;
+        self
+    }
+
+    /// Sets the spurious-abort probability.
+    pub fn with_spurious(mut self, prob: f64) -> Self {
+        self.spurious_abort_prob = prob;
+        self
+    }
+}

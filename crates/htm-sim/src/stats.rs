@@ -1,0 +1,167 @@
+//! Sharded commit/abort statistics — the data source for Fig. 2 of the
+//! paper (HTM commit and abort-cause breakdown).
+
+use crate::tid::{thread_id, MAX_THREADS};
+use crate::txn::AbortCause;
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const N_CAUSES: usize = AbortCause::COUNT;
+
+#[derive(Default)]
+struct Shard {
+    commits: AtomicU64,
+    fallbacks: AtomicU64,
+    aborts: [AtomicU64; N_CAUSES],
+}
+
+/// Per-thread sharded counters of transaction outcomes.
+pub struct HtmStats {
+    shards: Box<[CachePadded<Shard>]>,
+}
+
+impl Default for HtmStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HtmStats {
+    pub fn new() -> Self {
+        let shards = (0..MAX_THREADS)
+            .map(|_| CachePadded::new(Shard::default()))
+            .collect::<Vec<_>>();
+        Self {
+            shards: shards.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record_commit(&self) {
+        self.shards[thread_id()]
+            .commits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_abort(&self, cause: AbortCause) {
+        self.shards[thread_id()].aborts[cause.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_fallback(&self) {
+        self.shards[thread_id()]
+            .fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aggregates all shards into a snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut s = StatsSnapshot::default();
+        for shard in self.shards.iter() {
+            s.commits += shard.commits.load(Ordering::Relaxed);
+            s.fallbacks += shard.fallbacks.load(Ordering::Relaxed);
+            for (i, a) in shard.aborts.iter().enumerate() {
+                s.aborts[i] += a.load(Ordering::Relaxed);
+            }
+        }
+        s
+    }
+
+    /// Resets every counter to zero (between benchmark phases).
+    pub fn reset(&self) {
+        for shard in self.shards.iter() {
+            shard.commits.store(0, Ordering::Relaxed);
+            shard.fallbacks.store(0, Ordering::Relaxed);
+            for a in shard.aborts.iter() {
+                a.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Aggregated view of [`HtmStats`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct StatsSnapshot {
+    /// Successfully committed transactions.
+    pub commits: u64,
+    /// Operations that fell back to the global lock.
+    pub fallbacks: u64,
+    /// Abort counts indexed by [`AbortCause::index`].
+    pub aborts: [u64; N_CAUSES],
+}
+
+impl StatsSnapshot {
+    /// Total transaction attempts (commits + aborts).
+    pub fn attempts(&self) -> u64 {
+        self.commits + self.total_aborts()
+    }
+
+    /// Total aborts across all causes.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+
+    /// Aborts attributed to a specific cause.
+    pub fn aborts_of(&self, cause: AbortCause) -> u64 {
+        self.aborts[cause.index()]
+    }
+
+    /// Fraction of attempts that committed, in `[0, 1]`.
+    pub fn commit_ratio(&self) -> f64 {
+        let attempts = self.attempts();
+        if attempts == 0 {
+            return 1.0;
+        }
+        self.commits as f64 / attempts as f64
+    }
+
+    /// Fraction of attempts aborted by a given cause.
+    pub fn abort_ratio(&self, cause: AbortCause) -> f64 {
+        let attempts = self.attempts();
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.aborts_of(cause) as f64 / attempts as f64
+    }
+
+    /// Difference of two snapshots (self - earlier), for measuring a phase.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let mut s = *self;
+        s.commits -= earlier.commits;
+        s.fallbacks -= earlier.fallbacks;
+        for i in 0..N_CAUSES {
+            s.aborts[i] -= earlier.aborts[i];
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_aggregates() {
+        let st = HtmStats::new();
+        st.record_commit();
+        st.record_commit();
+        st.record_abort(AbortCause::Conflict);
+        st.record_fallback();
+        let s = st.snapshot();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.total_aborts(), 1);
+        assert_eq!(s.aborts_of(AbortCause::Conflict), 1);
+        assert_eq!(s.fallbacks, 1);
+        assert_eq!(s.attempts(), 3);
+        assert!((s.commit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let st = HtmStats::new();
+        st.record_commit();
+        st.reset();
+        assert_eq!(st.snapshot().attempts(), 0);
+    }
+}

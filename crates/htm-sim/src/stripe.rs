@@ -1,0 +1,142 @@
+//! The striped versioned-lock table at the heart of the TL2-style TM.
+//!
+//! Every 64-byte cache line of the process address space hashes to a
+//! *stripe*: one `AtomicU64` whose low bit is a write lock and whose upper
+//! 63 bits hold the version (global-clock value) of the last committed
+//! write to any line in the stripe. Committing transactions lock the
+//! stripes of their write set, validate their read set, publish values,
+//! and release the stripes with a fresh version.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cache-line size assumed throughout the simulator.
+pub const LINE_SHIFT: u32 = 6;
+
+/// A versioned-lock table striped over cache-line addresses.
+pub struct StripeTable {
+    stripes: Box<[AtomicU64]>,
+    mask: usize,
+}
+
+/// Decoded stripe word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StripeWord(pub u64);
+
+impl StripeWord {
+    #[inline]
+    pub fn locked(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    #[inline]
+    pub fn version(self) -> u64 {
+        self.0 >> 1
+    }
+
+    #[inline]
+    fn locked_word(self) -> u64 {
+        self.0 | 1
+    }
+}
+
+impl StripeTable {
+    pub fn new(bits: u32) -> Self {
+        let n = 1usize << bits;
+        let stripes = (0..n).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        Self {
+            stripes: stripes.into_boxed_slice(),
+            mask: n - 1,
+        }
+    }
+
+    /// Maps a word address to its stripe index. The address is first
+    /// truncated to its cache line so that all words of a line conflict,
+    /// then mixed so that adjacent lines spread over the table.
+    #[inline]
+    pub fn index_of(&self, addr: usize) -> usize {
+        let line = addr >> LINE_SHIFT as usize;
+        // Fibonacci hashing: good avalanche for sequential line numbers.
+        (line.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32 & self.mask
+    }
+
+    /// The cache-line number of a word address (used for capacity
+    /// accounting, which must be per *line*, not per stripe).
+    #[inline]
+    pub fn line_of(addr: usize) -> usize {
+        addr >> LINE_SHIFT as usize
+    }
+
+    #[inline]
+    pub fn load(&self, idx: usize) -> StripeWord {
+        StripeWord(self.stripes[idx].load(Ordering::Acquire))
+    }
+
+    /// Attempts to lock a stripe whose current word is `seen`.
+    /// Fails if the stripe is locked or has changed.
+    #[inline]
+    pub fn try_lock(&self, idx: usize, seen: StripeWord) -> bool {
+        if seen.locked() {
+            return false;
+        }
+        self.stripes[idx]
+            .compare_exchange(seen.0, seen.locked_word(), Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases a stripe previously locked with [`try_lock`], installing
+    /// `new_version` (must exceed the version locked over).
+    ///
+    /// [`try_lock`]: StripeTable::try_lock
+    #[inline]
+    pub fn unlock_with_version(&self, idx: usize, new_version: u64) {
+        self.stripes[idx].store(new_version << 1, Ordering::Release);
+    }
+
+    /// Releases a stripe restoring the pre-lock word (used when a commit
+    /// fails validation after locking part of its write set).
+    #[inline]
+    pub fn unlock_restore(&self, idx: usize, seen: StripeWord) {
+        debug_assert!(!seen.locked());
+        self.stripes[idx].store(seen.0, Ordering::Release);
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_line_same_stripe() {
+        let t = StripeTable::new(10);
+        let base = 0x1000usize;
+        for off in 0..8 {
+            assert_eq!(t.index_of(base), t.index_of(base + off * 8));
+        }
+    }
+
+    #[test]
+    fn lock_unlock_roundtrip() {
+        let t = StripeTable::new(4);
+        let w = t.load(3);
+        assert!(!w.locked());
+        assert!(t.try_lock(3, w));
+        assert!(t.load(3).locked());
+        // Locking a locked stripe fails.
+        assert!(!t.try_lock(3, t.load(3)));
+        t.unlock_with_version(3, 7);
+        let w2 = t.load(3);
+        assert!(!w2.locked());
+        assert_eq!(w2.version(), 7);
+    }
+
+    #[test]
+    fn restore_after_failed_commit() {
+        let t = StripeTable::new(4);
+        t.unlock_with_version(1, 5);
+        let w = t.load(1);
+        assert!(t.try_lock(1, w));
+        t.unlock_restore(1, w);
+        assert_eq!(t.load(1).version(), 5);
+    }
+}

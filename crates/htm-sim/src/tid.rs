@@ -1,0 +1,65 @@
+//! Process-wide dense thread identifiers.
+//!
+//! Many components of the reproduction (HTM statistics shards, epoch-system
+//! announcement arrays, allocator caches) need a small dense integer per OS
+//! thread. Identifiers are assigned on first use and never reused; the
+//! reproduction never creates more than [`max_threads`] threads over a
+//! process lifetime (benchmarks spawn fresh threads per data point, so the
+//! bound is generous).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on dense thread ids handed out over the process lifetime.
+pub const MAX_THREADS: usize = 1024;
+
+static NEXT_ID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static TID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Returns the calling thread's dense id, assigning one on first call.
+///
+/// # Panics
+///
+/// Panics if more than [`max_threads`] distinct threads ever call this.
+pub fn thread_id() -> usize {
+    TID.with(|t| {
+        let cur = t.get();
+        if cur != usize::MAX {
+            return cur;
+        }
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            id < MAX_THREADS,
+            "htm-sim: more than {MAX_THREADS} threads created over process lifetime"
+        );
+        t.set(id);
+        id
+    })
+}
+
+/// The maximum number of distinct threads supported per process.
+pub fn max_threads() -> usize {
+    MAX_THREADS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_within_a_thread() {
+        let a = thread_id();
+        let b = thread_id();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ids_are_distinct_across_threads() {
+        let mine = thread_id();
+        let theirs = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(mine, theirs);
+    }
+}

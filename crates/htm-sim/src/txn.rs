@@ -1,0 +1,264 @@
+//! Speculative transactions: read/write sets, opacity, and commit.
+
+use crate::htm::Htm;
+use crate::stripe::{StripeTable, StripeWord};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a transaction aborted. Mirrors the cause taxonomy of Intel TSX
+/// (`_XABORT_*` status bits) plus the simulator-specific
+/// [`PersistInTxn`](AbortCause::PersistInTxn) cause that models the abort
+/// triggered by `clwb`/`clflush`-class instructions — the incompatibility
+/// the paper resolves with buffered durability.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbortCause {
+    /// Data conflict with a concurrent transaction (or failed validation).
+    Conflict,
+    /// Read or write footprint exceeded the speculative capacity.
+    Capacity,
+    /// The program executed `xabort(code)`.
+    Explicit(u8),
+    /// Transient event (interrupt, page fault, ...), injected randomly.
+    Spurious,
+    /// The `ABORTED_MEMTYPE` anomaly of §4.1, injected randomly.
+    MemType,
+    /// A persist instruction (`clwb`/flush/fence-to-media) or an NVM
+    /// allocation executed inside the transaction.
+    PersistInTxn,
+    /// The subscribed global fallback lock was (or became) held.
+    FallbackLocked,
+}
+
+impl AbortCause {
+    /// Number of statistics buckets (all `Explicit` codes share one).
+    pub const COUNT: usize = 7;
+
+    /// Dense index for statistics arrays.
+    pub fn index(self) -> usize {
+        match self {
+            AbortCause::Conflict => 0,
+            AbortCause::Capacity => 1,
+            AbortCause::Explicit(_) => 2,
+            AbortCause::Spurious => 3,
+            AbortCause::MemType => 4,
+            AbortCause::PersistInTxn => 5,
+            AbortCause::FallbackLocked => 6,
+        }
+    }
+
+    /// Human-readable label (benchmark reports).
+    pub fn label(idx: usize) -> &'static str {
+        [
+            "conflict",
+            "capacity",
+            "explicit",
+            "spurious",
+            "memtype",
+            "persist-in-txn",
+            "fallback-locked",
+        ][idx]
+    }
+}
+
+/// Zero-sized marker returned through `Err` when a transactional access
+/// aborts; the concrete [`AbortCause`] is recorded inside the transaction.
+/// Using a marker keeps the hot path free of enum copies and lets user
+/// code propagate aborts with `?`.
+#[derive(Debug)]
+pub struct Abort;
+
+/// Result alias used by all transactional code.
+pub type TxResult<T> = Result<T, Abort>;
+
+/// An active speculative transaction.
+///
+/// Obtained from [`Htm::attempt`](crate::Htm::attempt) or, behind the
+/// [`MemAccess`](crate::MemAccess) trait, from [`Htm::run`](crate::Htm::run).
+/// The `'env` lifetime ties every accessed [`AtomicU64`] to the enclosing
+/// attempt, so cells are guaranteed to outlive commit-time write-back —
+/// a reference to a closure-local atomic will not compile.
+pub struct Txn<'env> {
+    htm: &'env Htm,
+    /// Read version: global-clock snapshot at begin.
+    rv: u64,
+    /// Stripe indices read (possibly duplicated); revalidated at commit.
+    read_set: Vec<u32>,
+    /// Buffered speculative writes, in program order.
+    write_set: Vec<(&'env AtomicU64, u64)>,
+    /// Distinct cache lines written (capacity accounting).
+    write_lines: Vec<usize>,
+    cause: AbortCause,
+}
+
+impl<'env> Txn<'env> {
+    pub(crate) fn new(htm: &'env Htm, rv: u64) -> Self {
+        Txn {
+            htm,
+            rv,
+            read_set: Vec::with_capacity(64),
+            write_set: Vec::with_capacity(16),
+            write_lines: Vec::with_capacity(16),
+            cause: AbortCause::Conflict,
+        }
+    }
+
+    /// The abort cause recorded by the most recent failed access.
+    pub(crate) fn cause(&self) -> AbortCause {
+        self.cause
+    }
+
+    #[inline]
+    fn fail(&mut self, cause: AbortCause) -> Abort {
+        self.cause = cause;
+        Abort
+    }
+
+    #[inline]
+    fn check_poison(&mut self) -> TxResult<()> {
+        if let Some(cause) = crate::take_poison() {
+            return Err(self.fail(cause));
+        }
+        Ok(())
+    }
+
+    /// Transactionally reads a word, with per-access opacity validation:
+    /// the returned value is guaranteed to belong to the snapshot at `rv`.
+    #[inline]
+    pub fn load(&mut self, cell: &'env AtomicU64) -> TxResult<u64> {
+        self.check_poison()?;
+        // Read-your-own-writes: scan the (small) write buffer backwards.
+        let addr = cell as *const AtomicU64 as usize;
+        for (c, v) in self.write_set.iter().rev() {
+            if std::ptr::eq(*c, cell) {
+                return Ok(*v);
+            }
+        }
+        let table = self.htm.table();
+        let idx = table.index_of(addr);
+        let w1 = table.load(idx);
+        let val = cell.load(Ordering::Acquire);
+        let w2 = table.load(idx);
+        if w1.locked() || w1 != w2 || w1.version() > self.rv {
+            return Err(self.fail(AbortCause::Conflict));
+        }
+        self.read_set.push(idx as u32);
+        if self.read_set.len() > self.htm.config().read_capacity_entries {
+            return Err(self.fail(AbortCause::Capacity));
+        }
+        Ok(val)
+    }
+
+    /// Buffers a speculative write; it becomes visible only at commit.
+    #[inline]
+    pub fn store(&mut self, cell: &'env AtomicU64, val: u64) -> TxResult<()> {
+        self.check_poison()?;
+        for (c, v) in self.write_set.iter_mut().rev() {
+            if std::ptr::eq(*c, cell) {
+                *v = val;
+                return Ok(());
+            }
+        }
+        self.write_set.push((cell, val));
+        let line = StripeTable::line_of(cell as *const AtomicU64 as usize);
+        if !self.write_lines.contains(&line) {
+            self.write_lines.push(line);
+            if self.write_lines.len() > self.htm.config().write_capacity_lines {
+                return Err(self.fail(AbortCause::Capacity));
+            }
+        }
+        Ok(())
+    }
+
+    /// Explicitly aborts the transaction with a user code
+    /// (`_xabort(code)` in TSX).
+    #[inline]
+    pub fn abort_explicit(&mut self, code: u8) -> Abort {
+        self.fail(AbortCause::Explicit(code))
+    }
+
+    /// Subscribes to the fallback lock: aborts now if it is held, and
+    /// guarantees (through the read set) an abort if it is acquired before
+    /// this transaction commits. Listing 1, line 16.
+    pub(crate) fn subscribe(&mut self, lock_word: &'env AtomicU64) -> TxResult<()> {
+        let v = self.load(lock_word)?;
+        if v != 0 {
+            return Err(self.fail(AbortCause::FallbackLocked));
+        }
+        Ok(())
+    }
+
+    /// Attempts to commit, publishing all buffered writes atomically.
+    /// On failure all speculative state is discarded.
+    pub(crate) fn commit(mut self) -> Result<(), AbortCause> {
+        if self.check_poison().is_err() {
+            return Err(self.cause);
+        }
+        if self.write_set.is_empty() {
+            // Read-only transactions were validated access-by-access.
+            return Ok(());
+        }
+        let table = self.htm.table();
+
+        // Gather the distinct stripes of the write set.
+        let mut stripes: Vec<(u32, StripeWord)> = Vec::with_capacity(self.write_set.len());
+        for (cell, _) in &self.write_set {
+            let idx = table.index_of(*cell as *const AtomicU64 as usize) as u32;
+            if !stripes.iter().any(|(i, _)| *i == idx) {
+                stripes.push((idx, StripeWord(0)));
+            }
+        }
+
+        // Phase 1: try-lock every write stripe (busy stripe => conflict).
+        let mut locked = 0usize;
+        for (idx, seen) in stripes.iter_mut() {
+            let w = table.load(*idx as usize);
+            if !table.try_lock(*idx as usize, w) {
+                for (j, s) in stripes[..locked].iter() {
+                    table.unlock_restore(*j as usize, *s);
+                }
+                return Err(AbortCause::Conflict);
+            }
+            *seen = w;
+            locked += 1;
+        }
+
+        // Phase 2: announce the in-flight write-back and re-check the
+        // subscribed fallback lock. The SeqCst increment/load pair forms a
+        // Dekker handshake with FallbackLock::acquire, guaranteeing the
+        // lock holder never observes a half-written commit.
+        let release_all = |stripes: &[(u32, StripeWord)]| {
+            for (j, s) in stripes {
+                table.unlock_restore(*j as usize, *s);
+            }
+        };
+        self.htm.inflight().fetch_add(1, Ordering::SeqCst);
+        if self.htm.fallback_held() {
+            self.htm.inflight().fetch_sub(1, Ordering::SeqCst);
+            release_all(&stripes);
+            return Err(AbortCause::FallbackLocked);
+        }
+
+        // Phase 3: obtain the write version and validate the read set.
+        let wv = self.htm.clock().fetch_add(1, Ordering::SeqCst) + 1;
+        if wv > self.rv + 1 {
+            for &idx in &self.read_set {
+                let w = table.load(idx as usize);
+                let mine = stripes.iter().any(|(i, _)| *i == idx);
+                if w.version() > self.rv || (w.locked() && !mine) {
+                    self.htm.inflight().fetch_sub(1, Ordering::SeqCst);
+                    release_all(&stripes);
+                    return Err(AbortCause::Conflict);
+                }
+            }
+        }
+
+        // Phase 4: write back and release with the new version.
+        for (cell, val) in &self.write_set {
+            cell.store(*val, Ordering::Release);
+        }
+        for (idx, _) in &stripes {
+            table.unlock_with_version(*idx as usize, wv);
+        }
+        self.htm.inflight().fetch_sub(1, Ordering::SeqCst);
+        Ok(())
+    }
+}

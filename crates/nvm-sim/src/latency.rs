@@ -1,0 +1,39 @@
+//! Busy-wait latency injection.
+
+use std::time::Instant;
+
+/// Spins for approximately `ns` nanoseconds. Used to charge NVM costs
+/// (media reads, write-backs, fences) on the calling thread, so the
+/// latency lands on the critical path exactly where real hardware would
+/// put it. A no-op when `ns == 0`.
+#[inline]
+pub fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_free() {
+        let t = Instant::now();
+        for _ in 0..1_000_000 {
+            spin_ns(0);
+        }
+        assert!(t.elapsed().as_millis() < 300);
+    }
+
+    #[test]
+    fn spin_waits_at_least_requested() {
+        let t = Instant::now();
+        spin_ns(2_000_000); // 2 ms
+        assert!(t.elapsed().as_micros() >= 2000);
+    }
+}

@@ -1,0 +1,171 @@
+//! Sharded NVM traffic counters: the data behind the paper's write-
+//! amplification and bandwidth discussion (§5.1) and the space figures.
+
+use crossbeam::utils::CachePadded;
+use htm_sim::{max_threads, thread_id};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Default)]
+struct Shard {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    cas_ops: AtomicU64,
+    flushes: AtomicU64,
+    lines_written_back: AtomicU64,
+    xplines_touched: AtomicU64,
+    fences: AtomicU64,
+    evicted_lines: AtomicU64,
+    /// Last XPLine this thread wrote back, for coalescing accounting.
+    last_xpline: AtomicU64,
+}
+
+/// Per-thread sharded NVM traffic counters.
+pub struct NvmStats {
+    shards: Box<[CachePadded<Shard>]>,
+}
+
+impl Default for NvmStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NvmStats {
+    pub fn new() -> Self {
+        let shards = (0..max_threads())
+            .map(|_| CachePadded::new(Shard::default()))
+            .collect::<Vec<_>>();
+        Self {
+            shards: shards.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn me(&self) -> &Shard {
+        &self.shards[thread_id()]
+    }
+
+    #[inline]
+    pub(crate) fn record_read(&self) {
+        self.me().reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_write(&self) {
+        self.me().writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_cas(&self) {
+        self.me().cas_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_fence(&self) {
+        self.me().fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn record_eviction(&self, lines: u64) {
+        self.me().evicted_lines.fetch_add(lines, Ordering::Relaxed);
+    }
+
+    /// Records one line written back to media. `xpline` is the 256 B media
+    /// block the line belongs to; a write-back lands in a *new* XPLine
+    /// (from this thread's point of view) only when it differs from the
+    /// previous one, modelling the on-DIMM write-combining buffer that
+    /// makes sequential flushes cheap and scattered flushes amplified.
+    #[inline]
+    pub(crate) fn record_writeback(&self, xpline: u64) {
+        let s = self.me();
+        s.flushes.fetch_add(1, Ordering::Relaxed);
+        s.lines_written_back.fetch_add(1, Ordering::Relaxed);
+        // +1 so xpline 0 is distinguishable from the initial sentinel.
+        if s.last_xpline.swap(xpline + 1, Ordering::Relaxed) != xpline + 1 {
+            s.xplines_touched.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Aggregates all shards.
+    pub fn snapshot(&self) -> NvmStatsSnapshot {
+        let mut t = NvmStatsSnapshot::default();
+        for s in self.shards.iter() {
+            t.reads += s.reads.load(Ordering::Relaxed);
+            t.writes += s.writes.load(Ordering::Relaxed);
+            t.cas_ops += s.cas_ops.load(Ordering::Relaxed);
+            t.flushes += s.flushes.load(Ordering::Relaxed);
+            t.lines_written_back += s.lines_written_back.load(Ordering::Relaxed);
+            t.xplines_touched += s.xplines_touched.load(Ordering::Relaxed);
+            t.fences += s.fences.load(Ordering::Relaxed);
+            t.evicted_lines += s.evicted_lines.load(Ordering::Relaxed);
+        }
+        t
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        for s in self.shards.iter() {
+            s.reads.store(0, Ordering::Relaxed);
+            s.writes.store(0, Ordering::Relaxed);
+            s.cas_ops.store(0, Ordering::Relaxed);
+            s.flushes.store(0, Ordering::Relaxed);
+            s.lines_written_back.store(0, Ordering::Relaxed);
+            s.xplines_touched.store(0, Ordering::Relaxed);
+            s.fences.store(0, Ordering::Relaxed);
+            s.evicted_lines.store(0, Ordering::Relaxed);
+            s.last_xpline.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Aggregated NVM traffic.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NvmStatsSnapshot {
+    /// Word reads from the heap.
+    pub reads: u64,
+    /// Word writes to the heap (volatile image).
+    pub writes: u64,
+    /// Word compare-and-swaps on the heap.
+    pub cas_ops: u64,
+    /// `clwb` instructions retired (eADR hints included).
+    pub flushes: u64,
+    /// Cache lines actually copied to media.
+    pub lines_written_back: u64,
+    /// Distinct 256 B XPLines charged (write-combining model).
+    pub xplines_touched: u64,
+    /// Draining fences.
+    pub fences: u64,
+    /// Lines written back by simulated cache eviction.
+    pub evicted_lines: u64,
+}
+
+impl NvmStatsSnapshot {
+    /// Bytes actually transferred to the media, at XPLine granularity —
+    /// the quantity Optane wear and bandwidth are governed by.
+    pub fn media_bytes(&self) -> u64 {
+        self.xplines_touched * 256
+    }
+
+    /// Write amplification: media bytes per byte of line payload flushed.
+    pub fn write_amplification(&self) -> f64 {
+        let logical = self.lines_written_back * 64;
+        if logical == 0 {
+            return 1.0;
+        }
+        self.media_bytes() as f64 / logical as f64
+    }
+
+    /// Difference of two snapshots (self - earlier).
+    pub fn since(&self, e: &NvmStatsSnapshot) -> NvmStatsSnapshot {
+        NvmStatsSnapshot {
+            reads: self.reads - e.reads,
+            writes: self.writes - e.writes,
+            cas_ops: self.cas_ops - e.cas_ops,
+            flushes: self.flushes - e.flushes,
+            lines_written_back: self.lines_written_back - e.lines_written_back,
+            xplines_touched: self.xplines_touched - e.xplines_touched,
+            fences: self.fences - e.fences,
+            evicted_lines: self.evicted_lines - e.evicted_lines,
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # persist-alloc: a recoverable NVM allocator
+//!
+//! Stand-in for the Ralloc persistent allocator used in the paper's
+//! experiments (Cai et al., ISMM 2020). It provides the three properties
+//! the BD-HTM epoch system needs:
+//!
+//! * **Fast concurrent allocation** of small persistent blocks
+//!   (segregated size classes, per-thread caches, shared free lists,
+//!   extent carving).
+//! * **Crash-recoverable metadata**: every block carries a self-
+//!   describing header (state, allocation epoch, delete epoch, user tag),
+//!   and extents are registered in a persisted table, so a full-heap scan
+//!   after a crash can classify every block — the paper's §5.2 recovery
+//!   procedure.
+//! * **HTM hostility** — faithfully reproduced, not avoided: like real
+//!   NVM allocators, [`PAlloc::alloc`] *flushes the block header* to
+//!   avoid permanent leaks, which aborts any enclosing hardware
+//!   transaction. This is precisely why the paper's Listing 1
+//!   preallocates blocks *outside* transactions and tags them with an
+//!   invalid epoch.
+//!
+//! ## Block layout (in 8-byte words)
+//!
+//! ```text
+//! word 0  state word:  MAGIC(48 bits) | state(8 bits) | size class(8 bits)
+//! word 1  allocation / tracking epoch  (INVALID_EPOCH when unset)
+//! word 2  delete epoch                 (INVALID_EPOCH when live)
+//! word 3  user tag (block type for post-crash index rebuilding)
+//! word 4+ payload
+//! ```
+
+mod block;
+mod palloc;
+mod recovery;
+
+pub use block::{
+    class_for_payload, mark_allocated, mark_deleted, Header, BlockState, CLASS_WORDS, HDR_DEL_EPOCH,
+    HDR_EPOCH, HDR_STATE, HDR_TAG, HDR_WORDS, INVALID_EPOCH, NUM_CLASSES,
+};
+pub use palloc::{AllocStats, PAlloc};
+pub use recovery::RecoveredBlock;

@@ -1,0 +1,335 @@
+//! HTM-vEB: the transient tree of Khalaji et al. — every operation is one
+//! hardware transaction over the DRAM index, values stored in the leaves.
+
+use crate::index::{AllocCtx, VebIndex};
+use htm_sim::{AbortCause, FallbackLock, Htm, MemAccess};
+use std::sync::Arc;
+
+/// A linearizable concurrent van Emde Boas tree mapping keys in
+/// `[0, 2^ubits)` to u64 values, synchronized entirely with best-effort
+/// hardware transactions plus a global fallback lock.
+pub struct HtmVeb {
+    index: VebIndex,
+    htm: Arc<Htm>,
+    lock: FallbackLock,
+    /// Retry the transaction after a MEMTYPE abort with a non-
+    /// transactional pre-walk of the access path (§4.1 mitigation).
+    pub prewalk_on_memtype: bool,
+}
+
+impl HtmVeb {
+    pub fn new(universe_bits: u32, htm: Arc<Htm>) -> Self {
+        Self {
+            index: VebIndex::new(universe_bits),
+            htm,
+            lock: FallbackLock::new(),
+            prewalk_on_memtype: true,
+        }
+    }
+
+    pub fn universe_bits(&self) -> u32 {
+        self.index.ubits
+    }
+
+    pub fn htm(&self) -> &Htm {
+        &self.htm
+    }
+
+    /// DRAM consumed by index nodes (Table 3).
+    pub fn dram_bytes(&self) -> u64 {
+        self.index.dram_bytes()
+    }
+
+    fn hook(&self, key: u64) -> impl FnMut(AbortCause) + '_ {
+        let prewalk = self.prewalk_on_memtype;
+        move |cause| {
+            if prewalk && cause == AbortCause::MemType {
+                self.index.prewalk(key);
+                htm_sim::suppress_memtype_once();
+            }
+        }
+    }
+
+    /// Inserts or updates `key`; returns the previous value if present.
+    pub fn insert(&self, key: u64, value: u64) -> Option<u64> {
+        let ctx = AllocCtx::default();
+        let r = self
+            .htm
+            .run_hooked(
+                &self.lock,
+                &mut |m: &mut dyn MemAccess| {
+                    self.index.recycle_attempt(&ctx);
+                    self.index.insert_tx(m, key, value, &ctx)
+                },
+                self.hook(key),
+            )
+            .expect("transient vEB raises no explicit aborts");
+        self.index.commit_attempt(&ctx);
+        r
+    }
+
+    /// Removes `key`; returns its value if it was present.
+    pub fn remove(&self, key: u64) -> Option<u64> {
+        self.htm
+            .run_hooked(
+                &self.lock,
+                &mut |m: &mut dyn MemAccess| self.index.remove_tx(m, key),
+                self.hook(key),
+            )
+            .expect("transient vEB raises no explicit aborts")
+    }
+
+    /// The value of `key`, if present.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.htm
+            .run_hooked(
+                &self.lock,
+                &mut |m: &mut dyn MemAccess| self.index.get_tx(m, key),
+                self.hook(key),
+            )
+            .expect("transient vEB raises no explicit aborts")
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Smallest `(key, value)` strictly greater than `key`.
+    pub fn successor(&self, key: u64) -> Option<(u64, u64)> {
+        self.htm
+            .run_hooked(
+                &self.lock,
+                &mut |m: &mut dyn MemAccess| self.index.successor_tx(m, key),
+                self.hook(key),
+            )
+            .expect("transient vEB raises no explicit aborts")
+    }
+
+    /// Largest `(key, value)` strictly smaller than `key`.
+    pub fn predecessor(&self, key: u64) -> Option<(u64, u64)> {
+        self.htm
+            .run_hooked(
+                &self.lock,
+                &mut |m: &mut dyn MemAccess| self.index.predecessor_tx(m, key),
+                self.hook(key),
+            )
+            .expect("transient vEB raises no explicit aborts")
+    }
+
+    /// All `(key, value)` pairs in `[lo, hi)`, via successor chaining —
+    /// the range-query capability that motivates vEB over hash tables.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cur = if lo == 0 {
+            match self.get(0) {
+                Some(v) => Some((0, v)),
+                None => self.successor(0),
+            }
+        } else {
+            match self.get(lo) {
+                Some(v) => Some((lo, v)),
+                None => self.successor(lo),
+            }
+        };
+        while let Some((k, v)) = cur {
+            if k >= hi {
+                break;
+            }
+            out.push((k, v));
+            cur = self.successor(k);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use htm_sim::HtmConfig;
+    use std::collections::BTreeMap;
+
+    fn tree(bits: u32) -> HtmVeb {
+        HtmVeb::new(bits, Arc::new(Htm::new(HtmConfig::for_tests())))
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let t = tree(16);
+        assert_eq!(t.insert(5, 50), None);
+        assert_eq!(t.insert(5, 51), Some(50));
+        assert_eq!(t.get(5), Some(51));
+        assert_eq!(t.remove(5), Some(51));
+        assert_eq!(t.get(5), None);
+        assert_eq!(t.remove(5), None);
+    }
+
+    #[test]
+    fn successor_predecessor_chain() {
+        let t = tree(20);
+        for k in [3u64, 9, 100, 4096, 99_000] {
+            t.insert(k, k * 10);
+        }
+        assert_eq!(t.successor(0), Some((3, 30)));
+        assert_eq!(t.successor(3), Some((9, 90)));
+        assert_eq!(t.successor(9), Some((100, 1000)));
+        assert_eq!(t.successor(99_000), None);
+        assert_eq!(t.predecessor(99_000), Some((4096, 40960)));
+        assert_eq!(t.predecessor(4096), Some((100, 1000)));
+        assert_eq!(t.predecessor(3), None);
+        assert_eq!(t.range(9, 4097), vec![(9, 90), (100, 1000), (4096, 40960)]);
+    }
+
+    #[test]
+    fn key_zero_works() {
+        let t = tree(10);
+        t.insert(0, 7);
+        assert_eq!(t.get(0), Some(7));
+        assert_eq!(t.predecessor(1), Some((0, 7)));
+        assert_eq!(t.remove(0), Some(7));
+        assert_eq!(t.get(0), None);
+    }
+
+    #[test]
+    fn matches_btreemap_oracle_randomized() {
+        let t = tree(14);
+        let mut oracle = BTreeMap::new();
+        let mut rng = 0xC0FFEEu64;
+        let mut next = move || {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for _ in 0..20_000 {
+            let r = next();
+            let key = next() % (1 << 14);
+            match r % 5 {
+                0 | 1 => {
+                    assert_eq!(t.insert(key, key + 1), oracle.insert(key, key + 1));
+                }
+                2 => {
+                    assert_eq!(t.remove(key), oracle.remove(&key));
+                }
+                3 => {
+                    assert_eq!(t.get(key), oracle.get(&key).copied());
+                }
+                _ => {
+                    let want = oracle.range(key + 1..).next().map(|(&k, &v)| (k, v));
+                    assert_eq!(t.successor(key), want, "successor({key})");
+                    let wantp = oracle.range(..key).next_back().map(|(&k, &v)| (k, v));
+                    assert_eq!(t.predecessor(key), wantp, "predecessor({key})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        let t = Arc::new(tree(18));
+        let threads = 4;
+        let per = 4000u64;
+        crossbeam::thread::scope(|s| {
+            for tid in 0..threads {
+                let t = Arc::clone(&t);
+                s.spawn(move |_| {
+                    for i in 0..per {
+                        let k = tid * per + i;
+                        t.insert(k, k ^ 0xFF);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for k in 0..threads * per {
+            assert_eq!(t.get(k), Some(k ^ 0xFF), "lost key {k}");
+        }
+        // Order queries see everything.
+        let mut count = 1;
+        let mut k = 0;
+        while let Some((n, _)) = t.successor(k) {
+            count += 1;
+            k = n;
+        }
+        assert_eq!(count, threads * per);
+    }
+
+    #[test]
+    fn concurrent_mixed_ops_preserve_per_key_consistency() {
+        // Each key is only ever mapped to f(key): any interleaving must
+        // preserve that.
+        let t = Arc::new(tree(12));
+        crossbeam::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let t = Arc::clone(&t);
+                s.spawn(move |_| {
+                    let mut rng = tid + 1;
+                    for _ in 0..10_000 {
+                        rng ^= rng >> 12;
+                        rng ^= rng << 25;
+                        rng ^= rng >> 27;
+                        let k = rng % (1 << 12);
+                        match rng % 3 {
+                            0 => {
+                                t.insert(k, k.wrapping_mul(31));
+                            }
+                            1 => {
+                                t.remove(k);
+                            }
+                            _ => {
+                                if let Some(v) = t.get(k) {
+                                    assert_eq!(v, k.wrapping_mul(31));
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn works_under_full_abort_injection() {
+        // Every transaction spuriously aborts: all operations go through
+        // the global-lock fallback and must still be correct.
+        let htm = Arc::new(Htm::new(HtmConfig::for_tests().with_spurious(1.0)));
+        let t = HtmVeb::new(10, htm);
+        for k in 0..200 {
+            t.insert(k, k);
+        }
+        for k in 0..200 {
+            assert_eq!(t.get(k), Some(k));
+        }
+        assert!(t.htm().stats().snapshot().fallbacks >= 400);
+    }
+
+    #[test]
+    fn memtype_prewalk_mitigation_reduces_aborts() {
+        let htm = Arc::new(Htm::new(HtmConfig::for_tests().with_memtype_anomaly(0.5)));
+        let t = HtmVeb::new(10, Arc::clone(&htm));
+        for k in 0..500 {
+            t.insert(k, k);
+        }
+        let with = htm.stats().snapshot();
+        // Mitigation on: at most one MEMTYPE abort per op on average
+        // (first attempt may abort; the pre-walked retry never does).
+        let rate = with.aborts_of(AbortCause::MemType) as f64 / 500.0;
+        assert!(rate < 1.3, "prewalk mitigation ineffective: {rate}");
+
+        htm.stats().reset();
+        let t2 = HtmVeb::new(10, Arc::clone(&htm));
+        let mut t2 = t2;
+        t2.prewalk_on_memtype = false;
+        for k in 0..500 {
+            t2.insert(k, k);
+        }
+        let without = htm.stats().snapshot();
+        assert!(
+            without.aborts_of(AbortCause::MemType) > with.aborts_of(AbortCause::MemType),
+            "mitigation should reduce MEMTYPE aborts ({} vs {})",
+            without.aborts_of(AbortCause::MemType),
+            with.aborts_of(AbortCause::MemType)
+        );
+    }
+}

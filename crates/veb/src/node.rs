@@ -1,0 +1,145 @@
+//! vEB tree nodes: 64-way bitmap leaves and cluster/summary internals.
+//!
+//! Nodes live in DRAM and are never freed while the tree is alive (vEB
+//! deletions empty nodes but keep them for reuse, the standard practical
+//! choice — it also sidesteps concurrent reclamation entirely). Nodes
+//! allocated speculatively inside an aborted transaction are recycled
+//! through per-thread spare lists; they are pristine because every
+//! post-construction mutation goes through the transactional write set.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Universe bits at or below which a node is a single-word bitmap leaf.
+pub const LEAF_BITS: u32 = 6;
+
+/// Sentinel for "no key" in min/max fields (greater than any real key).
+pub const EMPTY: u64 = u64::MAX;
+
+/// A bitmap leaf covering up to 64 keys, with one value slot per key.
+pub struct Leaf {
+    pub bits: AtomicU64,
+    pub values: Box<[AtomicU64; 64]>,
+}
+
+/// An internal node for a universe of `2^ubits` keys, split into
+/// `2^(ubits-lowbits)` clusters of `2^lowbits` keys each, plus a summary
+/// over the cluster indices.
+pub struct Internal {
+    pub ubits: u32,
+    pub lowbits: u32,
+    /// Minimum key, not stored recursively (CLRS convention).
+    pub min: AtomicU64,
+    /// Value of the minimum key.
+    pub min_val: AtomicU64,
+    /// Cached maximum key (stored recursively unless min == max).
+    pub max: AtomicU64,
+    /// Pointer (as u64; 0 = null) to the summary node.
+    pub summary: AtomicU64,
+    /// Pointers (as u64; 0 = null) to cluster nodes.
+    pub clusters: Box<[AtomicU64]>,
+}
+
+/// A vEB node.
+pub enum Node {
+    Leaf(Leaf),
+    Internal(Internal),
+}
+
+impl Node {
+    /// Builds an empty node for a `2^ubits` universe.
+    pub fn new(ubits: u32) -> Node {
+        if ubits <= LEAF_BITS {
+            Node::Leaf(Leaf {
+                bits: AtomicU64::new(0),
+                values: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
+            })
+        } else {
+            let lowbits = ubits / 2;
+            let highbits = ubits - lowbits;
+            Node::Internal(Internal {
+                ubits,
+                lowbits,
+                min: AtomicU64::new(EMPTY),
+                min_val: AtomicU64::new(0),
+                max: AtomicU64::new(EMPTY),
+                summary: AtomicU64::new(0),
+                clusters: (0..1u64 << highbits).map(|_| AtomicU64::new(0)).collect(),
+            })
+        }
+    }
+
+    /// Bits of the cluster sub-universe below an internal node of
+    /// `ubits` (i.e. the `ubits` of its cluster children).
+    pub fn child_bits(ubits: u32) -> u32 {
+        ubits / 2
+    }
+
+    /// Bits of the summary universe of an internal node of `ubits`.
+    pub fn summary_bits(ubits: u32) -> u32 {
+        ubits - ubits / 2
+    }
+
+    /// Approximate DRAM footprint in bytes (Table 3 accounting).
+    pub fn footprint(&self) -> usize {
+        match self {
+            Node::Leaf(_) => std::mem::size_of::<Node>() + 64 * 8,
+            Node::Internal(i) => {
+                std::mem::size_of::<Node>() + i.clusters.len() * 8
+            }
+        }
+    }
+
+    /// Recursively frees the subtree rooted at raw pointer `ptr`
+    /// (0 = null). Called from `Drop` implementations only.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be null or a pointer produced by `Box::into_raw` for a
+    /// `Node` that is not referenced anywhere else.
+    pub unsafe fn free_subtree(ptr: u64) {
+        if ptr == 0 {
+            return;
+        }
+        let boxed = Box::from_raw(ptr as *mut Node);
+        if let Node::Internal(i) = &*boxed {
+            Node::free_subtree(i.summary.load(Ordering::Relaxed));
+            for c in i.clusters.iter() {
+                Node::free_subtree(c.load(Ordering::Relaxed));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_below_threshold() {
+        assert!(matches!(Node::new(6), Node::Leaf(_)));
+        assert!(matches!(Node::new(3), Node::Leaf(_)));
+        assert!(matches!(Node::new(7), Node::Internal(_)));
+    }
+
+    #[test]
+    fn internal_geometry() {
+        if let Node::Internal(i) = Node::new(26) {
+            assert_eq!(i.lowbits, 13);
+            assert_eq!(i.clusters.len(), 1 << 13);
+            assert_eq!(i.min.load(Ordering::Relaxed), EMPTY);
+        } else {
+            panic!("expected internal");
+        }
+        if let Node::Internal(i) = Node::new(7) {
+            assert_eq!(i.lowbits, 3);
+            assert_eq!(i.clusters.len(), 1 << 4);
+        } else {
+            panic!("expected internal");
+        }
+    }
+
+    #[test]
+    fn free_subtree_handles_null() {
+        unsafe { Node::free_subtree(0) };
+    }
+}

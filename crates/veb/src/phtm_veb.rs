@@ -1,0 +1,527 @@
+//! PHTM-vEB: the buffered-durable van Emde Boas tree (§4.1).
+//!
+//! The DRAM index is exactly [`HtmVeb`](crate::HtmVeb)'s; leaf slots hold
+//! pointers to KV blocks in NVM managed by the epoch system. Every write
+//! operation follows the Listing 1 strategy: preallocate outside the
+//! transaction, claim the block's epoch inside it, classify updates
+//! against the block's epoch (in-place / replace / `OldSeeNewException`),
+//! and defer persistence and reclamation until after commit. After a
+//! crash, the index is rebuilt by scanning the live KV blocks.
+
+use crate::index::{AllocCtx, VebIndex};
+use bdhtm_core::{payload, EpochSys, LiveBlock, PreallocSlots, UpdateKind, OLD_SEE_NEW};
+use htm_sim::{AbortCause, FallbackLock, Htm, MemAccess, RunError};
+use nvm_sim::NvmAddr;
+use persist_alloc::Header;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Block tag identifying PHTM-vEB key-value pairs in recovery scans.
+pub const VEB_KV_TAG: u64 = 0x7EB0_4B56; // "vEB KV"
+
+/// Payload layout of a KV block: `[key, value]`.
+const P_KEY: u64 = 0;
+const P_VAL: u64 = 1;
+const KV_PAYLOAD_WORDS: u64 = 2;
+
+enum WriteOutcome {
+    Inserted,
+    Replaced(NvmAddr),
+    InPlace,
+}
+
+/// The buffered durably linearizable vEB tree.
+pub struct PhtmVeb {
+    index: VebIndex,
+    esys: Arc<EpochSys>,
+    htm: Arc<Htm>,
+    lock: FallbackLock,
+    /// Per-thread preallocated KV block (`new_blk` in Listing 1).
+    new_blk: PreallocSlots,
+    /// §4.1 MEMTYPE mitigation toggle.
+    pub prewalk_on_memtype: bool,
+}
+
+impl PhtmVeb {
+    /// Creates an empty tree over `[0, 2^universe_bits)` on the given
+    /// epoch system.
+    pub fn new(universe_bits: u32, esys: Arc<EpochSys>, htm: Arc<Htm>) -> Self {
+        Self {
+            index: VebIndex::new(universe_bits),
+            esys,
+            htm,
+            lock: FallbackLock::new(),
+            new_blk: PreallocSlots::new(KV_PAYLOAD_WORDS),
+            prewalk_on_memtype: true,
+        }
+    }
+
+    pub fn universe_bits(&self) -> u32 {
+        self.index.ubits
+    }
+
+    pub fn htm(&self) -> &Htm {
+        &self.htm
+    }
+
+    pub fn epoch_sys(&self) -> &Arc<EpochSys> {
+        &self.esys
+    }
+
+    /// DRAM consumed by index nodes (Table 3).
+    pub fn dram_bytes(&self) -> u64 {
+        self.index.dram_bytes()
+    }
+
+    /// NVM consumed by live + retired-pending blocks (Table 3, Fig. 8).
+    pub fn nvm_bytes(&self) -> u64 {
+        self.esys.alloc_stats().bytes_in_use()
+    }
+
+    fn hook(&self, key: u64) -> impl FnMut(AbortCause) + '_ {
+        let prewalk = self.prewalk_on_memtype;
+        move |cause| {
+            if prewalk && cause == AbortCause::MemType {
+                self.index.prewalk(key);
+                htm_sim::suppress_memtype_once();
+            }
+        }
+    }
+
+    /// Inserts or updates `key → value`. Returns `true` if the key was
+    /// newly inserted. The operation is linearizable immediately and
+    /// durable once its epoch is two behind the clock.
+    pub fn insert(&self, key: u64, value: u64) -> bool {
+        let heap = self.esys.heap();
+        loop {
+            // retry_regist (Listing 1 line 7)
+            let op_epoch = self.esys.begin_op();
+            let blk = self.new_blk.take(&self.esys); // epoch reset to INVALID
+            // Initialize the (private) block: key and value.
+            heap.word(payload(blk, P_KEY)).store(key, Ordering::Release);
+            heap.word(payload(blk, P_VAL)).store(value, Ordering::Release);
+            Header::set_tag(heap, blk, VEB_KV_TAG);
+
+            let ctx = AllocCtx::default();
+            let result = self.htm.run_hooked(
+                &self.lock,
+                &mut |m: &mut dyn MemAccess| {
+                    self.index.recycle_attempt(&ctx);
+                    // Claim the preallocated block for this epoch before
+                    // the linearization point (Listing 1 line 17).
+                    self.esys.set_epoch(m, blk, op_epoch)?;
+                    match self.index.get_tx(m, key)? {
+                        Some(slot) => {
+                            let old_blk = NvmAddr(slot);
+                            match self.esys.classify_update(m, old_blk, op_epoch)? {
+                                UpdateKind::InPlace => {
+                                    self.esys.p_set(m, old_blk, P_VAL, value)?;
+                                    Ok(WriteOutcome::InPlace)
+                                }
+                                UpdateKind::Replace => {
+                                    self.index.insert_tx(m, key, blk.0, &ctx)?;
+                                    Ok(WriteOutcome::Replaced(old_blk))
+                                }
+                            }
+                        }
+                        None => {
+                            self.index.insert_tx(m, key, blk.0, &ctx)?;
+                            Ok(WriteOutcome::Inserted)
+                        }
+                    }
+                },
+                self.hook(key),
+            );
+
+            match result {
+                Err(RunError(code)) => {
+                    debug_assert_eq!(code, OLD_SEE_NEW);
+                    // Restart in a newer epoch (Listing 1 lines 39–41).
+                    self.index.recycle_attempt(&ctx);
+                    self.new_blk.put_back(blk);
+                    self.esys.abort_op();
+                }
+                Ok(outcome) => {
+                    self.index.commit_attempt(&ctx);
+                    let inserted = match outcome {
+                        WriteOutcome::InPlace => {
+                            // Preallocated block unused; keep it.
+                            self.new_blk.put_back(blk);
+                            false
+                        }
+                        WriteOutcome::Replaced(old) => {
+                            self.esys.p_retire(old);
+                            self.esys.p_track(blk);
+                            false
+                        }
+                        WriteOutcome::Inserted => {
+                            self.esys.p_track(blk);
+                            true
+                        }
+                    };
+                    self.esys.end_op();
+                    return inserted;
+                }
+            }
+        }
+    }
+
+    /// Removes `key`. Returns `true` if it was present.
+    pub fn remove(&self, key: u64) -> bool {
+        loop {
+            let op_epoch = self.esys.begin_op();
+            let result = self.htm.run_hooked(
+                &self.lock,
+                &mut |m: &mut dyn MemAccess| {
+                    match self.index.get_tx(m, key)? {
+                        None => Ok(None),
+                        Some(slot) => {
+                            let blk = NvmAddr(slot);
+                            // BDL forbids an old operation destroying
+                            // newer state: epoch check before any write.
+                            let be = self.esys.get_epoch(m, blk)?;
+                            if be > op_epoch {
+                                return Err(m.abort(OLD_SEE_NEW));
+                            }
+                            self.index.remove_tx(m, key)?;
+                            Ok(Some(blk))
+                        }
+                    }
+                },
+                self.hook(key),
+            );
+            match result {
+                Err(RunError(code)) => {
+                    debug_assert_eq!(code, OLD_SEE_NEW);
+                    self.esys.abort_op();
+                }
+                Ok(None) => {
+                    self.esys.end_op();
+                    return false;
+                }
+                Ok(Some(blk)) => {
+                    self.esys.p_retire(blk);
+                    self.esys.end_op();
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// The value of `key`, if present. Reads the KV block from NVM inside
+    /// the transaction (lookups need no epoch registration: they modify
+    /// nothing and TL2 opacity protects them from concurrent
+    /// reclamation).
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let r = self
+            .htm
+            .run_hooked(
+                &self.lock,
+                &mut |m: &mut dyn MemAccess| match self.index.get_tx(m, key)? {
+                    None => Ok(None),
+                    Some(slot) => Ok(Some(self.esys.p_get(m, NvmAddr(slot), P_VAL)?)),
+                },
+                self.hook(key),
+            )
+            .expect("lookups raise no explicit aborts");
+        if r.is_some() {
+            self.esys.heap().charge_media_read();
+        }
+        r
+    }
+
+    /// Whether `key` is present (index-only, no NVM read).
+    pub fn contains(&self, key: u64) -> bool {
+        self.htm
+            .run_hooked(
+                &self.lock,
+                &mut |m: &mut dyn MemAccess| Ok(self.index.get_tx(m, key)?.is_some()),
+                self.hook(key),
+            )
+            .expect("lookups raise no explicit aborts")
+    }
+
+    /// Smallest `(key, value)` strictly greater than `key`.
+    pub fn successor(&self, key: u64) -> Option<(u64, u64)> {
+        let r = self
+            .htm
+            .run_hooked(
+                &self.lock,
+                &mut |m: &mut dyn MemAccess| match self.index.successor_tx(m, key)? {
+                    None => Ok(None),
+                    Some((k, slot)) => {
+                        Ok(Some((k, self.esys.p_get(m, NvmAddr(slot), P_VAL)?)))
+                    }
+                },
+                self.hook(key),
+            )
+            .expect("lookups raise no explicit aborts");
+        if r.is_some() {
+            self.esys.heap().charge_media_read();
+        }
+        r
+    }
+
+    /// Largest `(key, value)` strictly smaller than `key`.
+    pub fn predecessor(&self, key: u64) -> Option<(u64, u64)> {
+        let r = self
+            .htm
+            .run_hooked(
+                &self.lock,
+                &mut |m: &mut dyn MemAccess| match self.index.predecessor_tx(m, key)? {
+                    None => Ok(None),
+                    Some((k, slot)) => {
+                        Ok(Some((k, self.esys.p_get(m, NvmAddr(slot), P_VAL)?)))
+                    }
+                },
+                self.hook(key),
+            )
+            .expect("lookups raise no explicit aborts");
+        if r.is_some() {
+            self.esys.heap().charge_media_read();
+        }
+        r
+    }
+
+    /// All `(key, value)` pairs in `[lo, hi)`.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cur = match self.get(lo) {
+            Some(v) => Some((lo, v)),
+            None => self.successor(lo),
+        };
+        while let Some((k, v)) = cur {
+            if k >= hi {
+                break;
+            }
+            out.push((k, v));
+            cur = self.successor(k);
+        }
+        out
+    }
+
+    /// Rebuilds a tree from the live blocks of a recovered epoch system
+    /// (§5.2): filters blocks tagged [`VEB_KV_TAG`] and re-inserts their
+    /// keys into a fresh DRAM index, optionally in parallel.
+    pub fn recover(
+        universe_bits: u32,
+        esys: Arc<EpochSys>,
+        htm: Arc<Htm>,
+        live: &[LiveBlock],
+        threads: usize,
+    ) -> PhtmVeb {
+        let tree = PhtmVeb::new(universe_bits, esys, htm);
+        let heap = tree.esys.heap();
+        let mine: Vec<&LiveBlock> = live.iter().filter(|b| b.tag == VEB_KV_TAG).collect();
+        let rebuild_one = |b: &LiveBlock| {
+            let key = heap.word(payload(b.addr, P_KEY)).load(Ordering::Acquire);
+            let ctx = AllocCtx::default();
+            tree.htm
+                .run(&tree.lock, |m| {
+                    tree.index.recycle_attempt(&ctx);
+                    tree.index.insert_tx(m, key, b.addr.0, &ctx)
+                })
+                .expect("rebuild raises no explicit aborts");
+            tree.index.commit_attempt(&ctx);
+        };
+        if threads <= 1 || mine.len() < 128 {
+            for b in &mine {
+                rebuild_one(b);
+            }
+        } else {
+            let chunk = mine.len().div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                for part in mine.chunks(chunk) {
+                    s.spawn(move |_| {
+                        for b in part {
+                            rebuild_one(b);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+        }
+        tree
+    }
+
+    /// Reclaims the per-thread preallocated blocks (clean shutdown).
+    pub fn drain_preallocated(&self) {
+        self.new_blk.drain(&self.esys);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdhtm_core::EpochConfig;
+    use htm_sim::HtmConfig;
+    use nvm_sim::{NvmConfig, NvmHeap};
+    use std::collections::BTreeMap;
+
+    fn setup(bits: u32) -> PhtmVeb {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(32 << 20)));
+        let esys = EpochSys::format(heap, EpochConfig::manual());
+        PhtmVeb::new(bits, esys, Arc::new(Htm::new(HtmConfig::for_tests())))
+    }
+
+    #[test]
+    fn basic_map_semantics() {
+        let t = setup(14);
+        assert!(t.insert(10, 100));
+        assert!(!t.insert(10, 101)); // update
+        assert_eq!(t.get(10), Some(101));
+        assert!(t.contains(10));
+        assert!(t.remove(10));
+        assert!(!t.remove(10));
+        assert_eq!(t.get(10), None);
+    }
+
+    #[test]
+    fn successor_reads_values_from_nvm() {
+        let t = setup(16);
+        for k in [7u64, 70, 700, 7000] {
+            t.insert(k, k + 1);
+        }
+        assert_eq!(t.successor(0), Some((7, 8)));
+        assert_eq!(t.successor(7), Some((70, 71)));
+        assert_eq!(t.predecessor(7000), Some((700, 701)));
+        assert_eq!(t.range(7, 701), vec![(7, 8), (70, 71), (700, 701)]);
+    }
+
+    #[test]
+    fn in_place_update_within_an_epoch() {
+        let t = setup(12);
+        t.insert(5, 1);
+        // The first update preallocates this thread's spare block and
+        // then keeps it (in-place path); from then on, same-epoch updates
+        // must not allocate at all.
+        t.insert(5, 2);
+        let nvm_before = t.nvm_bytes();
+        for v in 3..50 {
+            t.insert(5, v);
+        }
+        assert_eq!(t.get(5), Some(49));
+        assert_eq!(t.nvm_bytes(), nvm_before, "in-place updates must not allocate");
+    }
+
+    #[test]
+    fn cross_epoch_update_replaces_block() {
+        let t = setup(12);
+        t.insert(5, 1);
+        t.epoch_sys().advance();
+        t.insert(5, 2);
+        assert_eq!(t.get(5), Some(2));
+        // Old + new + (maybe preallocated) blocks: strictly more than one
+        // KV block of NVM is held until the retirement becomes durable.
+        let stats = t.epoch_sys().alloc_stats();
+        assert!(stats.live_blocks[0] >= 2, "out-of-place update expected");
+    }
+
+    #[test]
+    fn matches_oracle_with_epoch_advances() {
+        let t = setup(12);
+        let mut oracle = BTreeMap::new();
+        let mut rng = 0xBEEFu64;
+        let mut next = move || {
+            rng ^= rng >> 12;
+            rng ^= rng << 25;
+            rng ^= rng >> 27;
+            rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for i in 0..8000 {
+            if i % 500 == 0 {
+                t.epoch_sys().advance();
+            }
+            let key = next() % (1 << 12);
+            match next() % 4 {
+                0 | 1 => {
+                    let newly = t.insert(key, key + i);
+                    assert_eq!(newly, oracle.insert(key, key + i).is_none());
+                }
+                2 => {
+                    assert_eq!(t.remove(key), oracle.remove(&key).is_some());
+                }
+                _ => {
+                    assert_eq!(t.get(key), oracle.get(&key).copied());
+                    let want = oracle.range(key + 1..).next().map(|(&k, &v)| (k, v));
+                    assert_eq!(t.successor(key), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_recovers_to_a_durable_prefix() {
+        let t = setup(12);
+        // Epoch 2: keys 0..100.
+        for k in 0..100 {
+            t.insert(k, k * 2);
+        }
+        t.epoch_sys().advance();
+        t.epoch_sys().advance(); // epoch-2 data durable
+        // Current epoch: keys 100..200 — will be lost.
+        for k in 100..200 {
+            t.insert(k, k * 2);
+        }
+        // And remove key 3 — also lost (resurrected on recovery).
+        t.remove(3);
+
+        let img = t.epoch_sys().heap().crash();
+        let heap2 = Arc::new(NvmHeap::from_image(img));
+        let (esys2, live) = EpochSys::recover(heap2, EpochConfig::manual(), 2);
+        let t2 = PhtmVeb::recover(
+            12,
+            esys2,
+            Arc::new(Htm::new(HtmConfig::for_tests())),
+            &live,
+            2,
+        );
+        for k in 0..100 {
+            assert_eq!(t2.get(k), Some(k * 2), "durable key {k} lost");
+        }
+        for k in 100..200 {
+            assert_eq!(t2.get(k), None, "undurable key {k} survived");
+        }
+        // Ordered queries work on the rebuilt index.
+        assert_eq!(t2.successor(50), Some((51, 102)));
+    }
+
+    #[test]
+    fn old_see_new_restart_makes_progress() {
+        // A thread operating with a stale epoch must restart and complete.
+        let t = Arc::new(setup(10));
+        t.insert(1, 10);
+        // Force epoch churn while another thread updates the same key.
+        crossbeam::thread::scope(|s| {
+            let t1 = Arc::clone(&t);
+            s.spawn(move |_| {
+                for i in 0..2000 {
+                    t1.insert(1, i);
+                }
+            });
+            let t2 = Arc::clone(&t);
+            s.spawn(move |_| {
+                for _ in 0..40 {
+                    t2.epoch_sys().advance();
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            });
+        })
+        .unwrap();
+        assert!(t.get(1).is_some());
+    }
+
+    #[test]
+    fn works_under_full_spurious_abort_injection() {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(8 << 20)));
+        let esys = EpochSys::format(heap, EpochConfig::manual());
+        let htm = Arc::new(Htm::new(HtmConfig::for_tests().with_spurious(1.0)));
+        let t = PhtmVeb::new(10, esys, htm);
+        for k in 0..100 {
+            t.insert(k, k);
+        }
+        for k in 0..100 {
+            assert_eq!(t.get(k), Some(k));
+        }
+    }
+}

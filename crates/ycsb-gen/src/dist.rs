@@ -1,0 +1,229 @@
+//! Key distributions: uniform and (scrambled) Zipfian.
+
+use crate::Rng64;
+
+/// A key distribution over `[0, universe)`.
+pub trait KeyDist: Send + Sync {
+    /// Draws the next key.
+    fn next_key(&self, rng: &mut Rng64) -> u64;
+    /// The key universe size.
+    fn universe(&self) -> u64;
+}
+
+/// Uniform keys over `[0, universe)`.
+#[derive(Clone, Debug)]
+pub struct Uniform {
+    universe: u64,
+}
+
+impl Uniform {
+    pub fn new(universe: u64) -> Self {
+        assert!(universe > 0);
+        Self { universe }
+    }
+}
+
+impl KeyDist for Uniform {
+    #[inline]
+    fn next_key(&self, rng: &mut Rng64) -> u64 {
+        rng.next_below(self.universe)
+    }
+
+    fn universe(&self) -> u64 {
+        self.universe
+    }
+}
+
+/// The YCSB Zipfian generator (Gray et al.): rank `r` is drawn with
+/// probability proportional to `1 / r^theta` using the closed-form
+/// inverse CDF, no rejection. Rank 0 is the most popular key.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    universe: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    /// `theta` is the Zipfian constant (the paper uses 0.99 by default
+    /// and 0.9 in the §5.1 sweeps).
+    pub fn new(universe: u64, theta: f64) -> Self {
+        assert!(universe > 0);
+        assert!((0.0..1.0).contains(&theta), "theta must be in (0,1)");
+        let zetan = Self::zeta(universe, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / universe as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            universe,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for small n; Euler–Maclaurin tail approximation for
+        // large n keeps construction O(1M) instead of O(universe).
+        const EXACT: u64 = 1_000_000;
+        if n <= EXACT {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            // integral of x^-theta from EXACT to n.
+            let tail = ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta))
+                / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Draws a *rank* (0 = most popular).
+    #[inline]
+    pub fn next_rank(&self, rng: &mut Rng64) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.universe as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.universe - 1)
+    }
+
+    #[allow(dead_code)]
+    pub(crate) fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+impl KeyDist for Zipfian {
+    #[inline]
+    fn next_key(&self, rng: &mut Rng64) -> u64 {
+        self.next_rank(rng)
+    }
+
+    fn universe(&self) -> u64 {
+        self.universe
+    }
+}
+
+/// YCSB's `ScrambledZipfianGenerator`: Zipfian ranks hashed (FNV-1a) over
+/// the key space, so hot keys are scattered rather than adjacent — the
+/// distribution the paper's "Zipfian" workloads use.
+#[derive(Clone, Debug)]
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    pub fn new(universe: u64, theta: f64) -> Self {
+        Self {
+            inner: Zipfian::new(universe, theta),
+        }
+    }
+
+    #[inline]
+    fn fnv1a(mut x: u64) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for _ in 0..8 {
+            h ^= x & 0xFF;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+            x >>= 8;
+        }
+        h
+    }
+}
+
+impl KeyDist for ScrambledZipfian {
+    #[inline]
+    fn next_key(&self, rng: &mut Rng64) -> u64 {
+        let rank = self.inner.next_rank(rng);
+        Self::fnv1a(rank) % self.inner.universe
+    }
+
+    fn universe(&self) -> u64 {
+        self.inner.universe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_the_universe_evenly() {
+        let d = Uniform::new(16);
+        let mut rng = Rng64::new(1);
+        let mut counts = [0u64; 16];
+        let n = 160_000;
+        for _ in 0..n {
+            counts[d.next_key(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 16.0;
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "uniformity violated: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipfian_is_heavily_skewed() {
+        let d = Zipfian::new(1 << 20, 0.99);
+        let mut rng = Rng64::new(2);
+        let n = 100_000;
+        let mut top10 = 0;
+        for _ in 0..n {
+            if d.next_rank(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // With theta=0.99 over 2^20 keys, the top-10 ranks draw roughly
+        // sum(i^-0.99, i=1..10)/zeta(2^20, 0.99) ~ 17% of accesses —
+        // astronomically above the uniform 10/2^20 ~ 0.001%.
+        let frac = top10 as f64 / n as f64;
+        assert!((0.10..0.30).contains(&frac), "zipfian skew off: {frac}");
+    }
+
+    #[test]
+    fn zipfian_09_less_skewed_than_099() {
+        let mut rng = Rng64::new(3);
+        let count_top = |theta: f64, rng: &mut Rng64| {
+            let d = Zipfian::new(1 << 20, theta);
+            (0..50_000).filter(|_| d.next_rank(rng) < 100).count()
+        };
+        let hot99 = count_top(0.99, &mut rng);
+        let hot90 = count_top(0.9, &mut rng);
+        assert!(hot99 > hot90, "0.99 ({hot99}) must be hotter than 0.9 ({hot90})");
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let d = ScrambledZipfian::new(1 << 16, 0.99);
+        let mut rng = Rng64::new(4);
+        let mut keys = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            keys.insert(d.next_key(&mut rng));
+        }
+        // Hot keys should not be a contiguous prefix.
+        assert!(keys.iter().any(|&k| k > (1 << 15)));
+        assert!(keys.iter().all(|&k| k < (1 << 16)));
+    }
+
+    #[test]
+    fn zipfian_keys_stay_in_universe() {
+        let d = ScrambledZipfian::new(1000, 0.9);
+        let mut rng = Rng64::new(5);
+        for _ in 0..100_000 {
+            assert!(d.next_key(&mut rng) < 1000);
+        }
+    }
+}

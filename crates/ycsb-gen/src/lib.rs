@@ -1,0 +1,94 @@
+//! # ycsb-gen: YCSB-style workload generation
+//!
+//! The paper evaluates every structure with the YCSB benchmark: uniform
+//! and Zipfian key distributions (Zipfian constant 0.99 unless noted,
+//! 0.9 in the §5.1 sweeps), 8-byte keys and values, structures prefilled
+//! with half the key space, and write mixes of 50/50 insert/remove so
+//! sizes stay stable. This crate reproduces those workload definitions.
+//!
+//! The Zipfian generator follows the classic YCSB `ZipfianGenerator`
+//! (Gray et al.'s rejection-free inverse-CDF method) with the standard
+//! FNV-hash *scrambling* so popular keys are spread over the key space
+//! rather than clustered at small values.
+
+mod dist;
+mod workload;
+
+pub use dist::{KeyDist, ScrambledZipfian, Uniform, Zipfian};
+pub use workload::{value_of, Mix, Op, OpKind, Workload, WorkloadSpec};
+
+/// A fast, seedable xorshift64* generator used by all distributions; we
+/// avoid pulling `rand`'s heavier machinery into per-op hot paths.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    pub fn new(seed: u64) -> Self {
+        // Avoid the all-zero fixed point; splitmix the seed once.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self {
+            state: (z ^ (z >> 31)) | 1,
+        }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, bound)`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit multiply avoids modulo bias.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = Rng64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.next_below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Rng64::new(9);
+        for _ in 0..10_000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Operation mixes and workload specifications.
+
+use crate::dist::{KeyDist, ScrambledZipfian, Uniform};
+use crate::Rng64;
+use std::sync::Arc;
+
+/// Kind of a generated operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    Read,
+    Insert,
+    Remove,
+}
+
+/// One generated operation.
+#[derive(Clone, Copy, Debug)]
+pub struct Op {
+    pub kind: OpKind,
+    pub key: u64,
+    /// Value for inserts (derived deterministically from the key so that
+    /// validity checks can recompute it).
+    pub value: u64,
+}
+
+/// Read/write composition. Writes split 50/50 into inserts and removes to
+/// keep structure sizes stable, as in the paper's experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct Mix {
+    /// Fraction of reads in `[0, 1]`; the rest are writes.
+    pub read_fraction: f64,
+}
+
+impl Mix {
+    /// The paper's write-heavy mix (§4.1, §4.3 figures): 20% reads.
+    pub fn write_heavy() -> Mix {
+        Mix { read_fraction: 0.2 }
+    }
+
+    /// The paper's read-heavy mix: 80% reads.
+    pub fn read_heavy() -> Mix {
+        Mix { read_fraction: 0.8 }
+    }
+
+    /// The skiplist experiment mix (Fig. 5): read:write = 2:8.
+    pub fn fig5() -> Mix {
+        Mix { read_fraction: 0.2 }
+    }
+
+    /// Custom read fraction.
+    pub fn reads(read_fraction: f64) -> Mix {
+        assert!((0.0..=1.0).contains(&read_fraction));
+        Mix { read_fraction }
+    }
+}
+
+/// Which key distribution to use.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Distribution {
+    Uniform,
+    /// Scrambled Zipfian with the given constant.
+    Zipfian(f64),
+}
+
+/// A complete workload specification (distribution, mix, universe).
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    pub universe: u64,
+    pub distribution: Distribution,
+    pub mix: Mix,
+}
+
+impl WorkloadSpec {
+    pub fn uniform(universe: u64, mix: Mix) -> Self {
+        Self {
+            universe,
+            distribution: Distribution::Uniform,
+            mix,
+        }
+    }
+
+    pub fn zipfian(universe: u64, theta: f64, mix: Mix) -> Self {
+        Self {
+            universe,
+            distribution: Distribution::Zipfian(theta),
+            mix,
+        }
+    }
+
+    /// Builds a generator; the (shared, immutable) distribution tables are
+    /// computed once and shared across threads.
+    pub fn build(&self) -> Workload {
+        let dist: Arc<dyn KeyDist> = match self.distribution {
+            Distribution::Uniform => Arc::new(Uniform::new(self.universe)),
+            Distribution::Zipfian(theta) => {
+                Arc::new(ScrambledZipfian::new(self.universe, theta))
+            }
+        };
+        Workload {
+            dist,
+            mix: self.mix,
+        }
+    }
+}
+
+/// A workload generator: thread-safe, given a per-thread [`Rng64`].
+#[derive(Clone)]
+pub struct Workload {
+    dist: Arc<dyn KeyDist>,
+    mix: Mix,
+}
+
+impl Workload {
+    /// Draws the next operation.
+    #[inline]
+    pub fn next_op(&self, rng: &mut Rng64) -> Op {
+        let key = self.dist.next_key(rng);
+        let r = rng.next_f64();
+        let kind = if r < self.mix.read_fraction {
+            OpKind::Read
+        } else if rng.next_u64() & 1 == 0 {
+            OpKind::Insert
+        } else {
+            OpKind::Remove
+        };
+        Op {
+            kind,
+            key,
+            value: value_of(key),
+        }
+    }
+
+    /// The keys used to prefill a structure with half the key space, as
+    /// in the paper ("prefilled with pairs representing half of the key
+    /// space"): every even key.
+    pub fn prefill_keys(&self) -> impl Iterator<Item = u64> {
+        (0..self.dist.universe()).step_by(2)
+    }
+
+    pub fn universe(&self) -> u64 {
+        self.dist.universe()
+    }
+}
+
+/// Deterministic value for a key (lets tests recompute expected values).
+#[inline]
+pub fn value_of(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xBD_47
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_ratios_hold() {
+        let w = WorkloadSpec::uniform(1 << 16, Mix::read_heavy()).build();
+        let mut rng = Rng64::new(11);
+        let n = 100_000;
+        let mut reads = 0;
+        let mut inserts = 0;
+        let mut removes = 0;
+        for _ in 0..n {
+            match w.next_op(&mut rng).kind {
+                OpKind::Read => reads += 1,
+                OpKind::Insert => inserts += 1,
+                OpKind::Remove => removes += 1,
+            }
+        }
+        let rf = reads as f64 / n as f64;
+        assert!((rf - 0.8).abs() < 0.02, "read fraction {rf}");
+        // Writes split roughly 50/50.
+        let ratio = inserts as f64 / (inserts + removes) as f64;
+        assert!((ratio - 0.5).abs() < 0.05, "insert/remove ratio {ratio}");
+    }
+
+    #[test]
+    fn prefill_is_half_the_universe() {
+        let w = WorkloadSpec::uniform(1000, Mix::write_heavy()).build();
+        let keys: Vec<u64> = w.prefill_keys().collect();
+        assert_eq!(keys.len(), 500);
+        assert!(keys.iter().all(|k| k % 2 == 0));
+    }
+
+    #[test]
+    fn ops_are_deterministic_per_seed() {
+        let w = WorkloadSpec::zipfian(1 << 20, 0.99, Mix::write_heavy()).build();
+        let mut a = Rng64::new(5);
+        let mut b = Rng64::new(5);
+        for _ in 0..1000 {
+            let (x, y) = (w.next_op(&mut a), w.next_op(&mut b));
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.kind, y.kind);
+        }
+    }
+
+    #[test]
+    fn values_are_recomputable() {
+        let w = WorkloadSpec::uniform(100, Mix::write_heavy()).build();
+        let mut rng = Rng64::new(1);
+        for _ in 0..100 {
+            let op = w.next_op(&mut rng);
+            assert_eq!(op.value, value_of(op.key));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! A miniature persistent KV store driven by a YCSB workload, showing
+//! BD-Spash (the §4.3 back-port) operating as the storage engine of a
+//! small service, with throughput and NVM-traffic reporting.
+//!
+//! ```sh
+//! cargo run --release --example kv_store -- [threads] [seconds]
+//! ```
+
+use bd_htm::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let seconds: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let heap = Arc::new(NvmHeap::new(NvmConfig::optane(512 << 20)));
+    let esys = EpochSys::format(
+        Arc::clone(&heap),
+        EpochConfig::default().with_epoch_len(Duration::from_millis(50)),
+    );
+    let htm = Arc::new(Htm::new(HtmConfig::default()));
+    let store = Arc::new(BdSpash::new(Arc::clone(&esys), Arc::clone(&htm)));
+    let ticker = EpochTicker::spawn(Arc::clone(&esys));
+
+    // YCSB: Zipfian(0.99) keys over 2^18, write-heavy mix, prefill half.
+    let spec = WorkloadSpec::zipfian(1 << 18, 0.99, Mix::write_heavy());
+    let workload = spec.build();
+    println!("prefilling half the key space...");
+    for k in workload.prefill_keys() {
+        store.insert(k, k ^ 0xDEAD);
+    }
+
+    println!("running {threads} threads for {seconds}s (zipfian 0.99, write-heavy)...");
+    let stop = Arc::new(AtomicBool::new(false));
+    let total_ops = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    crossbeam::thread::scope(|s| {
+        for tid in 0..threads {
+            let store = Arc::clone(&store);
+            let workload = workload.clone();
+            let stop = Arc::clone(&stop);
+            let total_ops = Arc::clone(&total_ops);
+            s.spawn(move |_| {
+                let mut rng = Rng64::new(tid as u64 + 1);
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let op = workload.next_op(&mut rng);
+                    match op.kind {
+                        OpKind::Read => {
+                            let _ = store.get(op.key);
+                        }
+                        OpKind::Insert => {
+                            store.insert(op.key, op.value);
+                        }
+                        OpKind::Remove => {
+                            store.remove(op.key);
+                        }
+                    }
+                    ops += 1;
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(Duration::from_secs(seconds));
+        stop.store(true, Ordering::Relaxed);
+    })
+    .unwrap();
+    let elapsed = t0.elapsed();
+    ticker.stop();
+
+    let ops = total_ops.load(Ordering::Relaxed);
+    let h = htm.stats().snapshot();
+    let n = heap.stats().snapshot();
+    println!(
+        "throughput: {:.2} Mops/s ({} ops in {:?})",
+        ops as f64 / elapsed.as_secs_f64() / 1e6,
+        ops,
+        elapsed
+    );
+    println!(
+        "HTM: commit ratio {:.1}%, fallbacks {}",
+        h.commit_ratio() * 100.0,
+        h.fallbacks
+    );
+    println!(
+        "NVM: {} flushes, {} fences, {} XPLines, {} evicted lines",
+        n.flushes, n.fences, n.xplines_touched, n.evicted_lines
+    );
+    println!(
+        "epoch system: {} advances, {} blocks persisted in background, {} reclaimed",
+        esys.stats().advances.load(Ordering::Relaxed),
+        esys.stats().blocks_persisted.load(Ordering::Relaxed),
+        esys.stats().blocks_reclaimed.load(Ordering::Relaxed),
+    );
+    println!("NVM space in use: {:.1} MiB", store.nvm_bytes() as f64 / (1 << 20) as f64);
+}

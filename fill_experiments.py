@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Substitutes results/*.txt into the {{...}} slots of EXPERIMENTS.md.
+
+Run after ./run_experiments.sh. Verdict slots are left for hand-editing
+if not already filled.
+"""
+import pathlib, re, sys
+
+root = pathlib.Path(__file__).parent
+md = (root / "EXPERIMENTS.md").read_text()
+slots = {
+    "FIG1": "fig1_veb_overhead", "FIG2": "fig2_abort_rates",
+    "FIG3": "fig3_tree_comparison", "TABLE3": "table3_space",
+    "FIG4": "fig4_mwcas", "FIG5": "fig5_skiplist",
+    "FIG6": "fig6_hashtables", "FIG7": "fig7_epoch_length",
+    "FIG8": "fig8_nvm_space", "RECOVERY": "recovery_time",
+}
+for slot, fname in slots.items():
+    path = root / "results" / f"{fname}.txt"
+    text = path.read_text().strip() if path.exists() else "(not yet run)"
+    md = md.replace("{{%s}}" % slot, text)
+(root / "EXPERIMENTS.md").write_text(md)
+print("filled", ", ".join(s for s in slots))

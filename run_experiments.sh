@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every figure/table of the paper. Outputs land in results/.
+# Knobs: BDHTM_SECS (per data point), BDHTM_THREADS, BDHTM_SCALE.
+set -u
+cd "$(dirname "$0")"
+export BDHTM_SECS="${BDHTM_SECS:-0.5}"
+export BDHTM_THREADS="${BDHTM_THREADS:-1,2,4}"
+export BDHTM_SCALE="${BDHTM_SCALE:-6}"
+mkdir -p results
+for bin in fig1_veb_overhead fig2_abort_rates fig3_tree_comparison table3_space \
+           fig4_mwcas fig5_skiplist fig6_hashtables fig7_epoch_length \
+           fig8_nvm_space recovery_time; do
+  echo "== $bin =="
+  cargo run --release -q -p bench --bin "$bin" | tee "results/$bin.txt"
+done

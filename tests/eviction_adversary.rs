@@ -1,0 +1,143 @@
+//! Adversarial cache-replacement testing: BDL correctness must not
+//! depend on *which* dirty lines happen to reach media before a crash
+//! (§2.3's point-of-visibility vs point-of-persistence discrepancy).
+//! These tests hammer random eviction throughout the workload, crash at
+//! many points, and verify recovered states are consistent.
+
+use bd_htm::prelude::*;
+use std::sync::Arc;
+
+/// Runs a deterministic workload on a structure with heavy random
+/// eviction, crashes at `crash_at` operations, and returns the
+/// per-key expected map for epochs up to the recovered frontier.
+fn eviction_storm<I>(seed: u64, crash_at: usize, mut insert: I, esys: &Arc<EpochSys>)
+where
+    I: FnMut(u64, u64),
+{
+    let mut rng = seed | 1;
+    for i in 0..crash_at {
+        rng ^= rng >> 12;
+        rng ^= rng << 25;
+        rng ^= rng >> 27;
+        let key = rng % 128;
+        insert(key, rng);
+        if i % 7 == 0 {
+            esys.heap().evict_random_lines(16, rng);
+        }
+        if i % 151 == 0 {
+            esys.advance();
+        }
+    }
+}
+
+#[test]
+fn bdl_skiplist_survives_eviction_storms() {
+    for seed in [1u64, 99, 12345] {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(32 << 20)));
+        let esys = EpochSys::format(heap, EpochConfig::default());
+        let htm = Arc::new(Htm::new(HtmConfig::default()));
+        let list = BdlSkiplist::new(Arc::clone(&esys), Arc::clone(&htm));
+        // Track what each key was last set to, per epoch.
+        let mut writes: Vec<(u64, u64, u64)> = Vec::new(); // (epoch, key, val)
+        {
+            let esys2 = Arc::clone(&esys);
+            eviction_storm(
+                seed,
+                900,
+                |k, v| {
+                    writes.push((esys2.current_epoch(), k + 1, v));
+                    list.insert(k + 1, v);
+                },
+                &esys,
+            );
+        }
+        let heap2 = Arc::new(NvmHeap::from_image(esys.heap().crash()));
+        let (esys2, live) = EpochSys::recover(heap2, EpochConfig::default(), 1);
+        let r = esys2.persisted_frontier();
+        let list2 = BdlSkiplist::recover(esys2, Arc::new(Htm::new(HtmConfig::default())), &live, 1);
+
+        // Single-threaded history: the durable prefix is exact.
+        let mut expect = std::collections::HashMap::new();
+        for (e, k, v) in &writes {
+            if *e > r {
+                break;
+            }
+            expect.insert(*k, *v);
+        }
+        for k in 1..129u64 {
+            assert_eq!(
+                list2.get(k),
+                expect.get(&k).copied(),
+                "seed {seed}: key {k} diverged (R={r})"
+            );
+        }
+    }
+}
+
+#[test]
+fn bd_spash_survives_eviction_storms() {
+    for seed in [7u64, 4242] {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(32 << 20)));
+        let esys = EpochSys::format(heap, EpochConfig::default());
+        let htm = Arc::new(Htm::new(HtmConfig::default()));
+        let table = BdSpash::new(Arc::clone(&esys), Arc::clone(&htm));
+        let mut writes: Vec<(u64, u64, u64)> = Vec::new();
+        {
+            let esys2 = Arc::clone(&esys);
+            eviction_storm(
+                seed,
+                1100,
+                |k, v| {
+                    writes.push((esys2.current_epoch(), k, v));
+                    table.insert(k, v);
+                },
+                &esys,
+            );
+        }
+        let heap2 = Arc::new(NvmHeap::from_image(esys.heap().crash()));
+        let (esys2, live) = EpochSys::recover(heap2, EpochConfig::default(), 1);
+        let r = esys2.persisted_frontier();
+        let table2 = BdSpash::recover(esys2, Arc::new(Htm::new(HtmConfig::default())), &live);
+        let mut expect = std::collections::HashMap::new();
+        for (e, k, v) in &writes {
+            if *e > r {
+                break;
+            }
+            expect.insert(*k, *v);
+        }
+        for k in 0..128u64 {
+            assert_eq!(
+                table2.get(k),
+                expect.get(&k).copied(),
+                "seed {seed}: key {k} diverged (R={r})"
+            );
+        }
+    }
+}
+
+/// Eviction must never *help* either: data evicted to media from a
+/// discarded epoch must still be rolled back by recovery (the block's
+/// epoch tag exceeds the frontier even though its bytes hit media).
+#[test]
+fn evicted_but_undurable_epochs_are_still_discarded() {
+    let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(16 << 20)));
+    let esys = EpochSys::format(heap, EpochConfig::default());
+    let htm = Arc::new(Htm::new(HtmConfig::default()));
+    let tree = PhtmVeb::new(10, Arc::clone(&esys), htm);
+    tree.insert(1, 100);
+    esys.advance();
+    esys.advance(); // (1 -> 100) durable
+    tree.insert(1, 200); // current epoch
+    // Force EVERYTHING to media, including the new version's block.
+    for seed in 0..64 {
+        esys.heap().evict_random_lines(256, seed);
+    }
+    let heap2 = Arc::new(NvmHeap::from_image(esys.heap().crash()));
+    let (esys2, live) = EpochSys::recover(heap2, EpochConfig::default(), 1);
+    let tree2 = PhtmVeb::recover(10, esys2, Arc::new(Htm::new(HtmConfig::default())), &live, 1);
+    assert_eq!(
+        tree2.get(1),
+        Some(100),
+        "an evicted-but-undurable update leaked into the recovered state"
+    );
+}

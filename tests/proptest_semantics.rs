@@ -1,0 +1,148 @@
+//! Property-based semantics tests: every structure must agree with a
+//! `std` reference model over arbitrary operation sequences, including
+//! ordered queries and epoch advances at arbitrary points.
+
+use bd_htm::prelude::*;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+#[derive(Clone, Debug)]
+enum Action {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Successor(u16),
+    Predecessor(u16),
+    Advance,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Action::Insert(k, v)),
+        2 => any::<u16>().prop_map(Action::Remove),
+        2 => any::<u16>().prop_map(Action::Get),
+        1 => any::<u16>().prop_map(Action::Successor),
+        1 => any::<u16>().prop_map(Action::Predecessor),
+        1 => Just(Action::Advance),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn phtm_veb_matches_btreemap(actions in proptest::collection::vec(action_strategy(), 1..300)) {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(32 << 20)));
+        let esys = EpochSys::format(heap, EpochConfig::default());
+        let htm = Arc::new(Htm::new(HtmConfig::default()));
+        let tree = PhtmVeb::new(16, Arc::clone(&esys), htm);
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for a in actions {
+            match a {
+                Action::Insert(k, v) => {
+                    let (k, v) = (k as u64, v as u64);
+                    prop_assert_eq!(tree.insert(k, v), oracle.insert(k, v).is_none());
+                }
+                Action::Remove(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(tree.remove(k), oracle.remove(&k).is_some());
+                }
+                Action::Get(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(tree.get(k), oracle.get(&k).copied());
+                }
+                Action::Successor(k) => {
+                    let k = k as u64;
+                    let want = oracle.range(k + 1..).next().map(|(&a, &b)| (a, b));
+                    prop_assert_eq!(tree.successor(k), want);
+                }
+                Action::Predecessor(k) => {
+                    let k = k as u64;
+                    let want = oracle.range(..k).next_back().map(|(&a, &b)| (a, b));
+                    prop_assert_eq!(tree.predecessor(k), want);
+                }
+                Action::Advance => esys.advance(),
+            }
+        }
+    }
+
+    #[test]
+    fn bdl_skiplist_matches_model(actions in proptest::collection::vec(action_strategy(), 1..250)) {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(32 << 20)));
+        let esys = EpochSys::format(heap, EpochConfig::default());
+        let htm = Arc::new(Htm::new(HtmConfig::default()));
+        let list = BdlSkiplist::new(Arc::clone(&esys), htm);
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for a in actions {
+            match a {
+                Action::Insert(k, v) => {
+                    let (k, v) = (k as u64 + 1, v as u64);
+                    prop_assert_eq!(list.insert(k, v), oracle.insert(k, v).is_none());
+                }
+                Action::Remove(k) => {
+                    let k = k as u64 + 1;
+                    prop_assert_eq!(list.remove(k), oracle.remove(&k).is_some());
+                }
+                Action::Get(k) => {
+                    let k = k as u64 + 1;
+                    prop_assert_eq!(list.get(k), oracle.get(&k).copied());
+                }
+                Action::Advance => esys.advance(),
+                _ => {}
+            }
+        }
+        prop_assert_eq!(list.len(), oracle.len());
+    }
+
+    #[test]
+    fn bd_spash_matches_model(actions in proptest::collection::vec(action_strategy(), 1..250)) {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(32 << 20)));
+        let esys = EpochSys::format(heap, EpochConfig::default());
+        let htm = Arc::new(Htm::new(HtmConfig::default()));
+        let table = BdSpash::new(Arc::clone(&esys), htm);
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for a in actions {
+            match a {
+                Action::Insert(k, v) => {
+                    let (k, v) = (k as u64, v as u64);
+                    prop_assert_eq!(table.insert(k, v), oracle.insert(k, v).is_none());
+                }
+                Action::Remove(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(table.remove(k), oracle.remove(&k).is_some());
+                }
+                Action::Get(k) => {
+                    let k = k as u64;
+                    prop_assert_eq!(table.get(k), oracle.get(&k).copied());
+                }
+                Action::Advance => esys.advance(),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn dl_skiplist_crash_recovery_is_exact(
+        keys in proptest::collection::btree_set(0u64..500, 1..80),
+        removes in proptest::collection::vec(0u64..500, 0..40),
+    ) {
+        // Strict durability: *every* completed operation survives.
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(32 << 20)));
+        let list = DlSkiplist::new(Arc::clone(&heap), PersistMode::Strict);
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        for &k in &keys {
+            list.insert(k, k + 1);
+            oracle.insert(k, k + 1);
+        }
+        for &k in &removes {
+            list.remove(k);
+            oracle.remove(&k);
+        }
+        let heap2 = Arc::new(NvmHeap::from_image(heap.crash()));
+        let (list2, _) = DlSkiplist::recover(heap2);
+        for k in 0..500u64 {
+            prop_assert_eq!(list2.get(k), oracle.get(&k).copied());
+        }
+    }
+}
