@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Offline CI gate: everything here runs with no network access.
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> fault sweep smoke (pinned FAULT_SEED)"
+FAULT_SEED=0xBD15EED ./target/release/fault_sweep --ops 160 --replays 40
+
+echo "==> ci.sh: all gates passed"

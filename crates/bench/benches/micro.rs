@@ -1,10 +1,10 @@
-//! Criterion micro-benchmarks of the substrate primitives and
-//! single-threaded structure operations. These complement the figure
-//! harness binaries (`src/bin/fig*.rs`), which reproduce the paper's
-//! multi-threaded tables and figures.
+//! Micro-benchmarks of the substrate primitives and single-threaded
+//! structure operations, on a small self-contained harness (`harness =
+//! false`; no external bench framework so the workspace builds offline).
+//! These complement the figure harness binaries (`src/bin/fig*.rs`),
+//! which reproduce the paper's multi-threaded tables and figures.
 
 use bdhtm_core::{EpochConfig, EpochSys};
-use criterion::{criterion_group, criterion_main, Criterion};
 use htm_sim::{FallbackLock, Htm, HtmConfig};
 use mwcas::{HtmMwCas, MwCasPool, MwTarget};
 use nvm_sim::{NvmAddr, NvmConfig, NvmHeap, WORDS_PER_LINE};
@@ -12,96 +12,108 @@ use persist_alloc::Header;
 use std::hint::black_box;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-fn bench_htm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("htm");
+/// Runs `f` repeatedly for ~`measure` after a short warm-up and prints
+/// mean ns/op. Batched timing keeps `Instant::now` out of the hot loop.
+fn bench(group: &str, name: &str, measure: Duration, mut f: impl FnMut()) {
+    let warmup_until = Instant::now() + Duration::from_millis(100);
+    let mut batch = 1u64;
+    while Instant::now() < warmup_until {
+        for _ in 0..batch {
+            f();
+        }
+        batch = (batch * 2).min(1 << 14);
+    }
+    let mut iters = 0u64;
+    let mut spent = Duration::ZERO;
+    while spent < measure {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        spent += t0.elapsed();
+        iters += batch;
+    }
+    let ns = spent.as_nanos() as f64 / iters as f64;
+    println!("{group}/{name:<24} {ns:>12.1} ns/op   ({iters} iters)");
+}
+
+const MEASURE: Duration = Duration::from_millis(400);
+
+fn bench_htm() {
     let htm = Htm::new(HtmConfig::default());
     let lock = FallbackLock::new();
     let cells: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
 
-    g.bench_function("empty_txn", |b| {
-        b.iter(|| htm.attempt(|_| Ok(())).unwrap())
+    bench("htm", "empty_txn", MEASURE, || {
+        htm.attempt(|_| Ok(())).unwrap()
     });
-    g.bench_function("txn_8r8w", |b| {
-        b.iter(|| {
-            htm.run(&lock, |m| {
-                for i in 0..8 {
-                    let v = m.load(&cells[i])?;
-                    m.store(&cells[i + 8], v + 1)?;
-                }
-                Ok(())
-            })
-            .unwrap()
+    bench("htm", "txn_8r8w", MEASURE, || {
+        htm.run(&lock, |m| {
+            for i in 0..8 {
+                let v = m.load(&cells[i])?;
+                m.store(&cells[i + 8], v + 1)?;
+            }
+            Ok(())
         })
+        .unwrap()
     });
-    g.bench_function("fallback_path", |b| {
+    {
         let htm = Htm::new(HtmConfig::default().with_spurious(1.0));
-        b.iter(|| {
+        bench("htm", "fallback_path", MEASURE, || {
             htm.run(&lock, |m| {
                 let v = m.load(&cells[0])?;
                 m.store(&cells[0], v + 1)?;
                 Ok(())
             })
             .unwrap()
-        })
-    });
-    g.finish();
+        });
+    }
 }
 
-fn bench_nvm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nvm");
+fn bench_nvm() {
     let heap = NvmHeap::new(NvmConfig::for_tests(8 << 20));
     let a = heap.base();
-    g.bench_function("write", |b| b.iter(|| heap.write(a, black_box(1))));
-    g.bench_function("write_clwb_fence", |b| {
-        b.iter(|| {
-            heap.write(a, black_box(2));
-            heap.clwb(a);
-            heap.fence();
-        })
+    bench("nvm", "write", MEASURE, || heap.write(a, black_box(1)));
+    bench("nvm", "write_clwb_fence", MEASURE, || {
+        heap.write(a, black_box(2));
+        heap.clwb(a);
+        heap.fence();
     });
-    g.finish();
 }
 
-fn bench_epoch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("epoch");
+fn bench_epoch() {
     let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(64 << 20)));
     let esys = EpochSys::format(heap, EpochConfig::default());
-    g.bench_function("begin_end_op", |b| {
-        b.iter(|| {
-            esys.begin_op();
-            esys.end_op();
-        })
+    bench("epoch", "begin_end_op", MEASURE, || {
+        esys.begin_op();
+        esys.end_op();
     });
-    g.bench_function("full_publish_cycle", |b| {
-        // begin, preallocate, claim, track, retire-previous, end — the
-        // Listing 1 shell. Retiring the prior block and advancing
-        // periodically keeps the heap footprint constant across however
-        // many iterations Criterion chooses.
-        let mut i = 0u64;
-        let mut prev: Option<nvm_sim::NvmAddr> = None;
-        b.iter(|| {
-            let e = esys.begin_op();
-            let blk = esys.p_new(2);
-            Header::set_epoch(esys.heap(), blk, e);
-            esys.p_track(blk);
-            if let Some(p) = prev.take() {
-                esys.p_retire(p);
-            }
-            prev = Some(blk);
-            esys.end_op();
-            i += 1;
-            if i % 4096 == 0 {
-                esys.advance();
-            }
-            black_box(blk)
-        })
+    // begin, preallocate, claim, track, retire-previous, end — the
+    // Listing 1 shell. Retiring the prior block and advancing
+    // periodically keeps the heap footprint constant.
+    let mut i = 0u64;
+    let mut prev: Option<nvm_sim::NvmAddr> = None;
+    bench("epoch", "full_publish_cycle", MEASURE, || {
+        let e = esys.begin_op();
+        let blk = esys.p_new(2);
+        Header::set_epoch(esys.heap(), blk, e);
+        esys.p_track(blk);
+        if let Some(p) = prev.take() {
+            esys.p_retire(p);
+        }
+        prev = Some(blk);
+        esys.end_op();
+        i += 1;
+        if i.is_multiple_of(4096) {
+            esys.advance();
+        }
+        black_box(blk);
     });
-    g.finish();
 }
 
-fn bench_mwcas(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mwcas_k4");
+fn bench_mwcas() {
     let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(64 << 20)));
     let pool = MwCasPool::new(Arc::clone(&heap));
     let htm = HtmMwCas::new(Arc::clone(&heap));
@@ -115,17 +127,21 @@ fn bench_mwcas(c: &mut Criterion) {
             })
             .collect()
     };
-    g.bench_function("mw_wr", |b| {
-        b.iter(|| mwcas::mw_write(&heap, &targets(&heap)))
+    bench("mwcas_k4", "mw_wr", MEASURE, || {
+        mwcas::mw_write(&heap, &targets(&heap));
     });
-    g.bench_function("htm_mwcas", |b| b.iter(|| htm.execute(&targets(&heap))));
-    g.bench_function("mwcas", |b| b.iter(|| pool.mwcas(&targets(&heap))));
-    g.bench_function("pmwcas", |b| b.iter(|| pool.pmwcas(&targets(&heap))));
-    g.finish();
+    bench("mwcas_k4", "htm_mwcas", MEASURE, || {
+        htm.execute(&targets(&heap));
+    });
+    bench("mwcas_k4", "mwcas", MEASURE, || {
+        pool.mwcas(&targets(&heap));
+    });
+    bench("mwcas_k4", "pmwcas", MEASURE, || {
+        pool.pmwcas(&targets(&heap));
+    });
 }
 
-fn bench_structures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("structure_get");
+fn bench_structures() {
     let n = 1u64 << 14;
 
     // PHTM-vEB.
@@ -138,11 +154,9 @@ fn bench_structures(c: &mut Criterion) {
             t.insert(k, k);
         }
         let mut k = 0;
-        g.bench_function("phtm_veb", |b| {
-            b.iter(|| {
-                k = (k + 7) % n;
-                black_box(t.get(k))
-            })
+        bench("structure_get", "phtm_veb", MEASURE, || {
+            k = (k + 7) % n;
+            black_box(t.get(k));
         });
     }
     // BDL-Skiplist.
@@ -155,11 +169,9 @@ fn bench_structures(c: &mut Criterion) {
             t.insert(k + 1, k);
         }
         let mut k = 0;
-        g.bench_function("bdl_skiplist", |b| {
-            b.iter(|| {
-                k = (k + 7) % n;
-                black_box(t.get(k + 1))
-            })
+        bench("structure_get", "bdl_skiplist", MEASURE, || {
+            k = (k + 7) % n;
+            black_box(t.get(k + 1));
         });
     }
     // BD-Spash.
@@ -172,11 +184,9 @@ fn bench_structures(c: &mut Criterion) {
             t.insert(k, k);
         }
         let mut k = 0;
-        g.bench_function("bd_spash", |b| {
-            b.iter(|| {
-                k = (k + 7) % n;
-                black_box(t.get(k))
-            })
+        bench("structure_get", "bd_spash", MEASURE, || {
+            k = (k + 7) % n;
+            black_box(t.get(k));
         });
     }
     // CCEH (strict baseline for contrast).
@@ -187,26 +197,17 @@ fn bench_structures(c: &mut Criterion) {
             t.insert(k, k);
         }
         let mut k = 0;
-        g.bench_function("cceh", |b| {
-            b.iter(|| {
-                k = (k + 7) % n;
-                black_box(t.get(k))
-            })
+        bench("structure_get", "cceh", MEASURE, || {
+            k = (k + 7) % n;
+            black_box(t.get(k));
         });
     }
-    g.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(600))
+fn main() {
+    bench_htm();
+    bench_nvm();
+    bench_epoch();
+    bench_mwcas();
+    bench_structures();
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_htm, bench_nvm, bench_epoch, bench_mwcas, bench_structures
-}
-criterion_main!(benches);

@@ -3,16 +3,14 @@
 //! attributes most of it to NVM memory management for KV pairs.)
 //!
 //! Four configurations, single workload (uniform write-heavy):
-//!   1. HTM-vEB                — transient baseline.
-//!   2. PHTM-vEB, free NVM     — epoch system + allocator on a
-//!                               zero-latency heap: isolates the
-//!                               *mechanism* cost (allocation, tracking,
-//!                               out-of-place updates).
+//!   1. HTM-vEB — transient baseline.
+//!   2. PHTM-vEB, free NVM — epoch system + allocator on a zero-latency
+//!      heap: isolates the *mechanism* cost (allocation, tracking,
+//!      out-of-place updates).
 //!   3. PHTM-vEB, Optane model — adds the device cost model: isolates
-//!                               the *latency* contribution.
-//!   4. PHTM-vEB, 1 µs epochs  — pathologically short epochs: isolates
-//!                               epoch-churn cost (OldSeeNew restarts,
-//!                               constant flushing).
+//!      the *latency* contribution.
+//!   4. PHTM-vEB, 1 µs epochs — pathologically short epochs: isolates
+//!      epoch-churn cost (OldSeeNew restarts, constant flushing).
 //!
 //! ```sh
 //! cargo run --release -p bench --bin ablation_bdl

@@ -43,7 +43,10 @@ fn main() {
     println!("# Fig 2: HTM commit/abort breakdown, universe 2^{ubits}");
 
     for (dist_name, spec) in [
-        ("uniform", WorkloadSpec::uniform(universe, Mix::write_heavy())),
+        (
+            "uniform",
+            WorkloadSpec::uniform(universe, Mix::write_heavy()),
+        ),
         (
             "zipfian(0.99)",
             WorkloadSpec::zipfian(universe, 0.99, Mix::write_heavy()),
@@ -58,7 +61,10 @@ fn main() {
             prefill(backend.as_ref(), &w);
             htm.stats().reset();
             throughput(backend, &w, t);
-            report(&format!("HTM-vEB  {dist_name} {t}T"), &htm.stats().snapshot());
+            report(
+                &format!("HTM-vEB  {dist_name} {t}T"),
+                &htm.stats().snapshot(),
+            );
 
             // Buffered-durable tree.
             let heap = Arc::new(NvmHeap::new(NvmConfig::optane(512 << 20)));
@@ -74,7 +80,10 @@ fn main() {
             htm.stats().reset();
             throughput(backend, &w, t);
             ticker.stop();
-            report(&format!("PHTM-vEB {dist_name} {t}T"), &htm.stats().snapshot());
+            report(
+                &format!("PHTM-vEB {dist_name} {t}T"),
+                &htm.stats().snapshot(),
+            );
         }
     }
 
@@ -84,9 +93,7 @@ fn main() {
     println!("\n# MEMTYPE anomaly machine (injection p=0.5, 1 thread):");
     let w = WorkloadSpec::uniform(universe, Mix::write_heavy()).build();
     for prewalk in [false, true] {
-        let htm = Arc::new(Htm::new(
-            HtmConfig::default().with_memtype_anomaly(0.5),
-        ));
+        let htm = Arc::new(Htm::new(HtmConfig::default().with_memtype_anomaly(0.5)));
         let mut tree = HtmVeb::new(ubits, Arc::clone(&htm));
         tree.prewalk_on_memtype = prewalk;
         let backend = Arc::new(HtmVebBackend(Arc::new(tree)));

@@ -59,7 +59,10 @@ fn main() {
     println!("# Fig 3: persistent trees, universe 2^{ubits} (Mops/s)");
 
     for (dist_name, zipf) in [("uniform", None), ("zipfian(0.99)", Some(0.99))] {
-        for (mix_name, mix) in [("write-heavy", Mix::write_heavy()), ("read-heavy", Mix::read_heavy())] {
+        for (mix_name, mix) in [
+            ("write-heavy", Mix::write_heavy()),
+            ("read-heavy", Mix::read_heavy()),
+        ] {
             println!("\n## {dist_name} / {mix_name}");
             header("tree", &threads);
             let spec = match zipf {

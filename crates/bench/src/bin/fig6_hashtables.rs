@@ -39,7 +39,10 @@ fn main() {
     println!("# Fig 6: persistent hash tables, universe 2^{ubits} (Mops/s)");
 
     for (dist_name, zipf) in [("uniform", None), ("zipfian(0.99)", Some(0.99))] {
-        for (mix_name, mix) in [("write-heavy", Mix::write_heavy()), ("read-heavy", Mix::read_heavy())] {
+        for (mix_name, mix) in [
+            ("write-heavy", Mix::write_heavy()),
+            ("read-heavy", Mix::read_heavy()),
+        ] {
             println!("\n## {dist_name} / {mix_name}");
             header("table", &threads);
             let spec = match zipf {
@@ -84,7 +87,10 @@ fn main() {
                 "Plush",
                 &series(&w, &threads, || {
                     let heap = Arc::new(NvmHeap::new(NvmConfig::optane(512 << 20)));
-                    (Arc::new(PlushBackend(Arc::new(Plush::new(heap)))) as _, None)
+                    (
+                        Arc::new(PlushBackend(Arc::new(Plush::new(heap)))) as _,
+                        None,
+                    )
                 }),
             );
         }

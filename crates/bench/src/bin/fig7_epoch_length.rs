@@ -41,7 +41,11 @@ fn main() {
     }
     println!();
 
-    for (dist_name, theta) in [("uniform", None), ("zipfian(0.9)", Some(0.9)), ("zipfian(0.99)", Some(0.99))] {
+    for (dist_name, theta) in [
+        ("uniform", None),
+        ("zipfian(0.9)", Some(0.9)),
+        ("zipfian(0.99)", Some(0.99)),
+    ] {
         let spec = match theta {
             None => WorkloadSpec::uniform(universe, Mix::reads(0.2)),
             Some(t) => WorkloadSpec::zipfian(universe, t, Mix::reads(0.2)),

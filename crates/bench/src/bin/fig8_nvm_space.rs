@@ -74,12 +74,15 @@ fn main() {
                     }
                 }
                 i += 1;
-                if i % 4096 == 0 {
+                if i.is_multiple_of(4096) {
                     peak = peak.max(tree.nvm_bytes());
                 }
             }
             ticker.stop();
-            print!(" {:>8.1}", peak.max(tree.nvm_bytes()) as f64 / (1 << 20) as f64);
+            print!(
+                " {:>8.1}",
+                peak.max(tree.nvm_bytes()) as f64 / (1 << 20) as f64
+            );
         }
         println!();
     }

@@ -23,7 +23,10 @@ fn mib(bytes: u64) -> f64 {
 fn main() {
     let ubits = 26 - scale_down_bits();
     let nkeys = 1u64 << (ubits - 1);
-    println!("# Table 3: space of trees with 2^{} keys of a 2^{ubits} universe (MiB)", ubits - 1);
+    println!(
+        "# Table 3: space of trees with 2^{} keys of a 2^{ubits} universe (MiB)",
+        ubits - 1
+    );
     println!("{:<12} {:>10} {:>10}", "tree", "DRAM", "NVM");
 
     // HTM-vEB: all DRAM.
@@ -33,7 +36,12 @@ fn main() {
         for k in 0..nkeys {
             t.insert(k * 2, k);
         }
-        println!("{:<12} {:>10.1} {:>10.1}", "HTM-vEB", mib(t.dram_bytes()), 0.0);
+        println!(
+            "{:<12} {:>10.1} {:>10.1}",
+            "HTM-vEB",
+            mib(t.dram_bytes()),
+            0.0
+        );
     }
 
     // PHTM-vEB: DRAM index + NVM KV blocks (with buffered duplicates).

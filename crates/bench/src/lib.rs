@@ -80,13 +80,13 @@ pub fn throughput(backend: Arc<dyn KvBackend>, workload: &Workload, threads: usi
     let ops = Arc::new(AtomicU64::new(0));
     let dur = Duration::from_secs_f64(secs_per_point());
     let t0 = Instant::now();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for tid in 0..threads {
             let backend = Arc::clone(&backend);
             let workload = workload.clone();
             let stop = Arc::clone(&stop);
             let ops = Arc::clone(&ops);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut rng = Rng64::new(0xB0B0 + tid as u64);
                 let mut n = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -98,8 +98,7 @@ pub fn throughput(backend: Arc<dyn KvBackend>, workload: &Workload, threads: usi
         }
         std::thread::sleep(dur);
         stop.store(true, Ordering::Relaxed);
-    })
-    .unwrap();
+    });
     ops.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64() / 1e6
 }
 

@@ -2,8 +2,8 @@
 //! (Liu et al., VLDB 2020).
 
 use crate::LEAF_CAP;
+use htm_sim::sync::{Mutex, RwLock};
 use nvm_sim::{NvmAddr, NvmHeap};
-use parking_lot::{Mutex, RwLock};
 use persist_alloc::{Header, PAlloc, RecoveredBlock, HDR_WORDS};
 use std::sync::Arc;
 
@@ -70,7 +70,8 @@ impl LbTree {
             match n {
                 Node::Leaf(_) => 16,
                 Node::Inner { keys, kids } => {
-                    (keys.len() * 8 + kids.len() * 8) as u64 + 48
+                    (keys.len() * 8 + kids.len() * 8) as u64
+                        + 48
                         + kids.iter().map(walk).sum::<u64>()
                 }
             }
@@ -106,7 +107,7 @@ impl LbTree {
         (k, v)
     }
 
-    fn descend<'a>(node: &'a Node, key: u64) -> NvmAddr {
+    fn descend(node: &Node, key: u64) -> NvmAddr {
         let mut n = node;
         loop {
             match n {
@@ -133,7 +134,10 @@ impl LbTree {
                 let (k, _) = self.pair(leaf, i);
                 if k == key {
                     let va = self.pw(leaf, L_PAIRS + 2 * i + 1);
-                    let old = self.heap.word(va).load(std::sync::atomic::Ordering::Acquire);
+                    let old = self
+                        .heap
+                        .word(va)
+                        .load(std::sync::atomic::Ordering::Acquire);
                     self.heap.write(va, value);
                     self.heap.clwb(va);
                     self.heap.fence();
@@ -261,9 +265,7 @@ impl LbTree {
                 let i = kids
                     .iter()
                     .position(|k| matches!(k, Node::Leaf(a) if *a == old))
-                    .or_else(|| {
-                        Some(keys.partition_point(|&k| k <= sep))
-                    })
+                    .or_else(|| Some(keys.partition_point(|&k| k <= sep)))
                     .unwrap();
                 match &mut kids[i] {
                     Node::Leaf(a) if *a == old => {
@@ -285,7 +287,8 @@ impl LbTree {
             // Split over-full children.
             let mut i = 0;
             while i < kids.len() {
-                let too_big = matches!(&kids[i], Node::Inner { kids: g, .. } if g.len() > INNER_CAP);
+                let too_big =
+                    matches!(&kids[i], Node::Inner { kids: g, .. } if g.len() > INNER_CAP);
                 if too_big {
                     if let Node::Inner {
                         keys: ckeys,
@@ -393,10 +396,7 @@ impl LbTree {
         if leaves.len() == 1 {
             return Node::Leaf(leaves[0].1);
         }
-        let mut level: Vec<(u64, Node)> = leaves
-            .iter()
-            .map(|&(k, a)| (k, Node::Leaf(a)))
-            .collect();
+        let mut level: Vec<(u64, Node)> = leaves.iter().map(|&(k, a)| (k, Node::Leaf(a))).collect();
         while level.len() > 1 {
             let mut next = Vec::new();
             for group in level.chunks_mut(INNER_CAP / 2) {
@@ -481,18 +481,17 @@ mod tests {
     #[test]
     fn concurrent_disjoint_inserts() {
         let t = Arc::new(tree());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let t = Arc::clone(&t);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..4000u64 {
                         let k = tid * 1_000_000 + i;
                         t.insert(k, k + 3);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for tid in 0..4u64 {
             for i in 0..4000u64 {
                 let k = tid * 1_000_000 + i;

@@ -38,6 +38,6 @@ mod tests {
     #[test]
     fn leaf_cap_fits_a_class3_block() {
         // [count, next, pad] + 60 pairs = 123 <= 124 payload words.
-        assert!(3 + 2 * super::LEAF_CAP <= 124);
+        const { assert!(3 + 2 * super::LEAF_CAP <= 124) }
     }
 }

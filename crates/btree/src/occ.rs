@@ -8,8 +8,8 @@
 //! operations and fewer NVM writes on skewed workloads.
 
 use crate::LEAF_CAP;
+use htm_sim::sync::{Mutex, RwLock};
 use nvm_sim::{NvmAddr, NvmHeap};
-use parking_lot::{Mutex, RwLock};
 use persist_alloc::{Header, PAlloc, HDR_WORDS};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -261,7 +261,7 @@ impl OccAbTree {
         kind: PendKind,
         key: u64,
         value: u64,
-        _guard: &parking_lot::RwLockReadGuard<'_, NvmAddr>,
+        _guard: &htm_sim::sync::RwLockReadGuard<'_, NvmAddr>,
     ) -> Option<Option<u64>> {
         let queues = self.elim.as_ref()?;
         let state = Arc::new((AtomicU64::new(0), AtomicU64::new(0)));
@@ -419,7 +419,12 @@ impl OccAbTree {
         // Redistribute into two fresh leaves.
         let cnt = self.w(leaf, N_COUNT);
         let mut pairs: Vec<(u64, u64)> = (0..cnt)
-            .map(|i| (self.w(leaf, N_PAIRS + 2 * i), self.w(leaf, N_PAIRS + 2 * i + 1)))
+            .map(|i| {
+                (
+                    self.w(leaf, N_PAIRS + 2 * i),
+                    self.w(leaf, N_PAIRS + 2 * i + 1),
+                )
+            })
             .collect();
         pairs.sort_unstable();
         let mid = pairs.len() / 2;
@@ -433,7 +438,8 @@ impl OccAbTree {
                 self.heap
                     .write(dst.offset(HDR_WORDS + N_PAIRS + 2 * i as u64 + 1), *v);
             }
-            self.heap.write(dst.offset(HDR_WORDS + N_COUNT), part.len() as u64);
+            self.heap
+                .write(dst.offset(HDR_WORDS + N_COUNT), part.len() as u64);
             self.heap.persist_range(dst, HDR_WORDS + 124);
         }
         self.heap.fence();
@@ -471,14 +477,18 @@ impl OccAbTree {
             let k = self.w(parent, N_KEYS + i - 1);
             self.heap.write(parent.offset(HDR_WORDS + N_KEYS + i), k);
             let c = self.w(parent, N_KIDS + i);
-            self.heap.write(parent.offset(HDR_WORDS + N_KIDS + i + 1), c);
+            self.heap
+                .write(parent.offset(HDR_WORDS + N_KIDS + i + 1), c);
             i -= 1;
         }
-        self.heap.write(parent.offset(HDR_WORDS + N_KEYS + slot), sep);
-        self.heap.write(parent.offset(HDR_WORDS + N_KIDS + slot), left.0);
+        self.heap
+            .write(parent.offset(HDR_WORDS + N_KEYS + slot), sep);
+        self.heap
+            .write(parent.offset(HDR_WORDS + N_KIDS + slot), left.0);
         self.heap
             .write(parent.offset(HDR_WORDS + N_KIDS + slot + 1), right.0);
-        self.heap.write(parent.offset(HDR_WORDS + N_COUNT), count + 1);
+        self.heap
+            .write(parent.offset(HDR_WORDS + N_COUNT), count + 1);
         self.heap.persist_range(parent, HDR_WORDS + 124);
         self.heap.fence();
         // Split the parent too if it just filled up.
@@ -662,18 +672,17 @@ mod tests {
     #[test]
     fn concurrent_inserts() {
         let t = Arc::new(occ());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let t = Arc::clone(&t);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..3000u64 {
                         let k = tid * 1_000_000 + i;
                         t.insert(k, k);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for tid in 0..4u64 {
             for i in 0..3000u64 {
                 let k = tid * 1_000_000 + i;
@@ -688,10 +697,10 @@ mod tests {
             NvmConfig::for_tests(64 << 20),
         ))));
         // Heavy contention on a tiny key range so elimination fires.
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let t = Arc::clone(&t);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut rng = tid + 41;
                     for _ in 0..4000 {
                         rng ^= rng >> 12;
@@ -714,8 +723,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
     }
 
     #[test]

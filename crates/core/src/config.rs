@@ -10,12 +10,24 @@ pub struct EpochConfig {
     /// [`EpochTicker`](crate::EpochTicker); with manual advancement it is
     /// informational.
     pub epoch_len: Duration,
+    /// Extra attempts [`EpochSys::advance`](crate::EpochSys::advance)
+    /// makes when a transition fails (injected faults); each failed
+    /// attempt yields before retrying. `0` means a single attempt.
+    pub advance_retries: u32,
+    /// Bound on the buffered (tracked-but-not-yet-flushed) word set.
+    /// When non-zero, a thread entering [`begin_op`]
+    /// (crate::EpochSys::begin_op) while the set exceeds the bound first
+    /// helps advance the epoch, so dirty-set growth stays bounded even
+    /// if the background ticker stalls. `0` disables backpressure.
+    pub max_buffered_words: u64,
 }
 
 impl Default for EpochConfig {
     fn default() -> Self {
         Self {
             epoch_len: Duration::from_millis(50),
+            advance_retries: 3,
+            max_buffered_words: 0,
         }
     }
 }
@@ -29,6 +41,20 @@ impl EpochConfig {
     /// Sets the epoch length (Fig. 7 / Fig. 8 sweeps).
     pub fn with_epoch_len(mut self, len: Duration) -> Self {
         self.epoch_len = len;
+        self
+    }
+
+    /// Sets the retry budget of a single
+    /// [`EpochSys::advance`](crate::EpochSys::advance) call.
+    pub fn with_advance_retries(mut self, retries: u32) -> Self {
+        self.advance_retries = retries;
+        self
+    }
+
+    /// Bounds the buffered word set (0 = unbounded): threads beginning an
+    /// operation above the bound help advance the epoch first.
+    pub fn with_max_buffered_words(mut self, words: u64) -> Self {
+        self.max_buffered_words = words;
         self
     }
 }

@@ -2,13 +2,11 @@
 //! advancement, and the Listing 1 update-classification helper.
 
 use crate::config::EpochConfig;
-use crossbeam::utils::CachePadded;
+use htm_sim::sync::CachePadded;
+use htm_sim::sync::Mutex;
 use htm_sim::{max_threads, thread_id, MemAccess, TxResult};
 use nvm_sim::{NvmAddr, NvmHeap};
-use parking_lot::Mutex;
-use persist_alloc::{
-    mark_deleted, AllocStats, Header, PAlloc, CLASS_WORDS, HDR_EPOCH, HDR_WORDS,
-};
+use persist_alloc::{mark_deleted, AllocStats, Header, PAlloc, CLASS_WORDS, HDR_EPOCH, HDR_WORDS};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -108,7 +106,11 @@ pub enum UpdateKind {
 
 #[derive(Default)]
 struct EpochBuf {
-    persist: Vec<NvmAddr>,
+    /// Tracked blocks plus the word count accounted against the global
+    /// buffered-set bound when they were queued (so draining and
+    /// aborting subtract exactly what tracking added, even if a block's
+    /// header changes state in between).
+    persist: Vec<(NvmAddr, u64)>,
     retire: Vec<NvmAddr>,
 }
 
@@ -144,6 +146,22 @@ pub struct EpochStats {
     pub words_persisted: AtomicU64,
     /// Retired blocks physically reclaimed.
     pub blocks_reclaimed: AtomicU64,
+    /// Advance attempts that failed (injected epoch-system faults).
+    pub advance_failures: AtomicU64,
+    /// Epoch advances initiated by [`EpochSys::begin_op`] backpressure
+    /// (buffered set over [`EpochConfig::max_buffered_words`]).
+    pub backpressure_advances: AtomicU64,
+}
+
+/// Why an epoch transition did not happen (see
+/// [`EpochSys::try_advance`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdvanceFault {
+    /// An injected failure, armed via
+    /// [`EpochSys::inject_advance_failures`] or
+    /// [`EpochSys::inject_advance_failure_rate`] — models the ticker
+    /// thread stalling or dying mid-transition before any state moved.
+    Injected,
 }
 
 /// The buffered-durability epoch system (Table 2 API).
@@ -161,6 +179,16 @@ pub struct EpochSys {
     disabled: bool,
     config: EpochConfig,
     stats: EpochStats,
+    /// Words tracked for background persistence but not yet flushed —
+    /// the "dirty set" the backpressure bound keeps in check.
+    buffered_words: CachePadded<AtomicU64>,
+    /// Injected-fault state: how many upcoming advance attempts fail.
+    fault_fail_next: AtomicU64,
+    /// Injected-fault state: failure probability as `f64` bits
+    /// (0 = disabled) drawn against the seeded stream below.
+    fault_fail_prob_bits: AtomicU64,
+    /// SplitMix64 state of the seeded advance-failure stream.
+    fault_rng: AtomicU64,
 }
 
 impl EpochSys {
@@ -173,7 +201,14 @@ impl EpochSys {
         heap.write(heap.root(ROOT_FRONTIER), EPOCH_START - 1);
         heap.persist_range(heap.root(ROOT_MAGIC), 2);
         heap.fence();
-        Arc::new(Self::build(heap, alloc, config, EPOCH_START, EPOCH_START - 1, disabled))
+        Arc::new(Self::build(
+            heap,
+            alloc,
+            config,
+            EPOCH_START,
+            EPOCH_START - 1,
+            disabled,
+        ))
     }
 
     pub(crate) fn build(
@@ -199,6 +234,10 @@ impl EpochSys {
             disabled,
             config,
             stats: EpochStats::default(),
+            buffered_words: CachePadded::new(AtomicU64::new(0)),
+            fault_fail_next: AtomicU64::new(0),
+            fault_fail_prob_bits: AtomicU64::new(0),
+            fault_rng: AtomicU64::new(0),
         }
     }
 
@@ -218,6 +257,73 @@ impl EpochSys {
 
     pub fn stats(&self) -> &EpochStats {
         &self.stats
+    }
+
+    // ----- epoch-system fault injection -----------------------------------
+
+    /// Arms the fault injector: the next `n` advance attempts fail with
+    /// [`AdvanceFault::Injected`] before touching any epoch state. Models
+    /// a stalled or killed persistence ticker.
+    pub fn inject_advance_failures(&self, n: u64) {
+        self.fault_fail_next.store(n, Ordering::SeqCst);
+    }
+
+    /// Arms seeded probabilistic advance failures: each attempt fails
+    /// with probability `prob`, drawn from a SplitMix64 stream seeded
+    /// with `seed` — the same seed replays the same failure schedule.
+    /// `prob = 0.0` disables the probabilistic injector.
+    pub fn inject_advance_failure_rate(&self, seed: u64, prob: f64) {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range");
+        self.fault_rng.store(seed, Ordering::SeqCst);
+        self.fault_fail_prob_bits
+            .store(prob.to_bits(), Ordering::SeqCst);
+    }
+
+    /// Disarms every injected epoch-system fault.
+    pub fn clear_advance_faults(&self) {
+        self.fault_fail_next.store(0, Ordering::SeqCst);
+        self.fault_fail_prob_bits.store(0, Ordering::SeqCst);
+        self.fault_rng.store(0, Ordering::SeqCst);
+    }
+
+    /// Words tracked for background persistence and not yet flushed.
+    pub fn buffered_words(&self) -> u64 {
+        self.buffered_words.load(Ordering::Relaxed)
+    }
+
+    /// Consumes one injected failure, if armed.
+    fn injected_advance_failure(&self) -> bool {
+        if self
+            .fault_fail_next
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok()
+        {
+            return true;
+        }
+        let bits = self.fault_fail_prob_bits.load(Ordering::Relaxed);
+        if bits == 0 {
+            return false;
+        }
+        let prob = f64::from_bits(bits);
+        // Advance the seeded stream by CAS so concurrent callers each
+        // consume a distinct draw and replays stay deterministic.
+        let mut cur = self.fault_rng.load(Ordering::Relaxed);
+        loop {
+            let mut next = cur;
+            let draw = htm_sim::rng::splitmix64(&mut next);
+            match self.fault_rng.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let u = (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    return u < prob;
+                }
+                Err(c) => cur = c,
+            }
+        }
     }
 
     /// `true` when running on eADR (persistent cache): tracking disabled.
@@ -243,6 +349,17 @@ impl EpochSys {
         let tid = thread_id();
         if self.disabled {
             return self.clock.load(Ordering::SeqCst);
+        }
+        // Backpressure (graceful degradation under a stalled ticker): if
+        // the buffered set exceeds its bound, help advance the epoch.
+        // This is the one safe point — the thread has not announced an
+        // epoch yet, so the advance it performs cannot wait on itself.
+        let bound = self.config.max_buffered_words;
+        if bound != 0 && self.buffered_words.load(Ordering::Relaxed) > bound {
+            self.stats
+                .backpressure_advances
+                .fetch_add(1, Ordering::Relaxed);
+            self.advance();
         }
         let e = loop {
             let e = self.clock.load(Ordering::SeqCst);
@@ -284,15 +401,21 @@ impl EpochSys {
         }
         let tid = thread_id();
         let mut st = self.threads[tid].lock();
+        let mut undone = 0u64;
         if st.op_epoch != EMPTY_EPOCH {
             let (pm, rm) = (st.persist_mark, st.retire_mark);
             let idx = (st.op_epoch % BUF_GENS as u64) as usize;
             let buf = &mut st.bufs[idx];
+            undone = buf.persist[pm..].iter().map(|&(_, w)| w).sum::<u64>()
+                + (buf.retire.len() - rm) as u64 * HDR_WORDS;
             buf.persist.truncate(pm);
             buf.retire.truncate(rm);
             st.op_epoch = EMPTY_EPOCH;
         }
         drop(st);
+        if undone != 0 {
+            self.buffered_words.fetch_sub(undone, Ordering::Relaxed);
+        }
         self.announce[tid].store(EMPTY_EPOCH, Ordering::SeqCst);
     }
 
@@ -329,19 +452,24 @@ impl EpochSys {
         if self.disabled {
             return;
         }
+        let words = match Header::state(&self.heap, blk) {
+            Some((_, class)) => CLASS_WORDS[class],
+            None => 0,
+        };
         let tid = thread_id();
         let mut st = self.threads[tid].lock();
         let e = st.op_epoch;
         debug_assert_ne!(e, EMPTY_EPOCH, "p_track outside an operation");
-        st.bufs[(e % BUF_GENS as u64) as usize].persist.push(blk);
+        st.bufs[(e % BUF_GENS as u64) as usize]
+            .persist
+            .push((blk, words));
         drop(st);
+        self.buffered_words.fetch_add(words, Ordering::Relaxed);
         // Make the block's lines visible to the eviction injector.
-        if let Some((_, class)) = Header::state(&self.heap, blk) {
-            let mut w = 0;
-            while w < CLASS_WORDS[class] {
-                self.heap.mark_dirty(blk.offset(w));
-                w += nvm_sim::WORDS_PER_LINE;
-            }
+        let mut w = 0;
+        while w < words {
+            self.heap.mark_dirty(blk.offset(w));
+            w += nvm_sim::WORDS_PER_LINE;
         }
     }
 
@@ -361,6 +489,8 @@ impl EpochSys {
         debug_assert_ne!(e, EMPTY_EPOCH, "p_retire outside an operation");
         mark_deleted(&self.heap, blk, class, e);
         st.bufs[(e % BUF_GENS as u64) as usize].retire.push(blk);
+        drop(st);
+        self.buffered_words.fetch_add(HDR_WORDS, Ordering::Relaxed);
     }
 
     /// Immediately reclaims a block that was never published (e.g. a
@@ -373,11 +503,7 @@ impl EpochSys {
     // ----- Table 2: transactional block accessors -------------------------
 
     /// Transactionally reads the epoch a block was tracked in.
-    pub fn get_epoch<'e>(
-        &'e self,
-        m: &mut dyn MemAccess<'e>,
-        blk: NvmAddr,
-    ) -> TxResult<u64> {
+    pub fn get_epoch<'e>(&'e self, m: &mut dyn MemAccess<'e>, blk: NvmAddr) -> TxResult<u64> {
         m.load(self.heap.word(blk.offset(HDR_EPOCH)))
     }
 
@@ -428,12 +554,7 @@ impl EpochSys {
     }
 
     /// Transactionally reads payload word `idx` of `blk`.
-    pub fn p_get<'e>(
-        &'e self,
-        m: &mut dyn MemAccess<'e>,
-        blk: NvmAddr,
-        idx: u64,
-    ) -> TxResult<u64> {
+    pub fn p_get<'e>(&'e self, m: &mut dyn MemAccess<'e>, blk: NvmAddr, idx: u64) -> TxResult<u64> {
         m.load(self.heap.word(payload(blk, idx)))
     }
 
@@ -452,11 +573,39 @@ impl EpochSys {
     ///
     /// Normally driven by an [`EpochTicker`](crate::EpochTicker);
     /// callable directly for tests and deterministic experiments.
+    ///
+    /// Retries up to [`EpochConfig::advance_retries`] times when a
+    /// transition fails (injected epoch-system faults), yielding between
+    /// attempts; gives up silently after the budget — the next tick (or
+    /// backpressured [`begin_op`](EpochSys::begin_op)) tries again, so a
+    /// transiently stalled ticker degrades throughput without losing
+    /// correctness.
     pub fn advance(&self) {
         if self.disabled {
             return;
         }
+        let mut attempt = 0;
+        while self.try_advance().is_err() {
+            attempt += 1;
+            if attempt > self.config.advance_retries {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// One epoch-transition attempt. Fails (without moving any state)
+    /// when an injected fault is armed; see
+    /// [`inject_advance_failures`](EpochSys::inject_advance_failures).
+    pub fn try_advance(&self) -> Result<(), AdvanceFault> {
+        if self.disabled {
+            return Ok(());
+        }
         let _g = self.advance_lock.lock();
+        if self.injected_advance_failure() {
+            self.stats.advance_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(AdvanceFault::Injected);
+        }
         let e = self.clock.load(Ordering::SeqCst);
 
         // 1. Wait for stragglers in epochs < e (the in-flight epoch e−1
@@ -483,7 +632,9 @@ impl EpochSys {
 
         // 3. Flush tracked blocks and retirement records to media.
         let mut words = 0u64;
-        for &blk in &persist_list {
+        let mut accounted = 0u64;
+        for &(blk, acct) in &persist_list {
+            accounted += acct;
             if let Some((_, class)) = Header::state(&self.heap, blk) {
                 self.heap.persist_range(blk, CLASS_WORDS[class]);
                 words += CLASS_WORDS[class];
@@ -493,6 +644,7 @@ impl EpochSys {
             self.heap.persist_range(blk, HDR_WORDS);
             words += HDR_WORDS;
         }
+        accounted += retire_list.len() as u64 * HDR_WORDS;
         self.heap.fence();
 
         // 4. Persist the frontier: epochs ≤ e−1 are now durable.
@@ -512,17 +664,25 @@ impl EpochSys {
         // 6. Open the next epoch.
         self.clock.store(e + 1, Ordering::SeqCst);
 
+        if accounted != 0 {
+            self.buffered_words.fetch_sub(accounted, Ordering::Relaxed);
+        }
         self.stats.advances.fetch_add(1, Ordering::Relaxed);
         self.stats
             .blocks_persisted
             .fetch_add(persist_list.len() as u64, Ordering::Relaxed);
-        self.stats.words_persisted.fetch_add(words, Ordering::Relaxed);
+        self.stats
+            .words_persisted
+            .fetch_add(words, Ordering::Relaxed);
         self.stats
             .blocks_reclaimed
             .fetch_add(reclaimed, Ordering::Relaxed);
+        Ok(())
     }
 
-    /// Advances until every epoch `≤ epoch` is durable.
+    /// Advances until every epoch `≤ epoch` is durable. (With a
+    /// permanent injected failure rate of 1.0 this spins forever —
+    /// injected faults are a test facility.)
     pub fn advance_until(&self, epoch: u64) {
         while !self.disabled && self.persisted_frontier() < epoch {
             self.advance();
@@ -584,11 +744,11 @@ mod tests {
         let es = fresh();
         let release = Arc::new(AtomicBool::new(false));
         let advanced = Arc::new(AtomicBool::new(false));
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             // Worker begins an op in EPOCH_START and stalls.
             let es2 = Arc::clone(&es);
             let release2 = Arc::clone(&release);
-            let w = s.spawn(move |_| {
+            let w = s.spawn(move || {
                 let _e = es2.begin_op();
                 while !release2.load(Ordering::SeqCst) {
                     std::thread::yield_now();
@@ -602,7 +762,7 @@ mod tests {
             // Second advance must wait for the worker to leave EPOCH_START.
             let es3 = Arc::clone(&es);
             let advanced2 = Arc::clone(&advanced);
-            let a = s.spawn(move |_| {
+            let a = s.spawn(move || {
                 es3.advance();
                 advanced2.store(true, Ordering::SeqCst);
             });
@@ -614,8 +774,7 @@ mod tests {
             release.store(true, Ordering::SeqCst);
             a.join().unwrap();
             w.join().unwrap();
-        })
-        .unwrap();
+        });
         assert!(advanced.load(Ordering::SeqCst));
     }
 
@@ -663,10 +822,7 @@ mod tests {
 
         // Older op epoch: OldSeeNewException.
         let r = htm.attempt(|t| es2.classify_update(t, blk, e - 1));
-        assert_eq!(
-            r.unwrap_err(),
-            htm_sim::AbortCause::Explicit(OLD_SEE_NEW)
-        );
+        assert_eq!(r.unwrap_err(), htm_sim::AbortCause::Explicit(OLD_SEE_NEW));
     }
 
     #[test]
@@ -710,17 +866,12 @@ mod tests {
         es.advance(); // flushes epoch 2 (blk's creation)
         es.advance(); // flushes epoch 3 (blk2 + blk's retirement), reclaims blk
         assert_eq!(es.alloc_stats().live_blocks[0], live_before - 1);
-        assert_eq!(
-            es.stats().blocks_reclaimed.load(Ordering::Relaxed),
-            1
-        );
+        assert_eq!(es.stats().blocks_reclaimed.load(Ordering::Relaxed), 1);
     }
 
     #[test]
     fn eadr_disables_tracking() {
-        let heap = Arc::new(NvmHeap::new(
-            NvmConfig::for_tests(4 << 20).with_eadr(true),
-        ));
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(4 << 20).with_eadr(true)));
         let es = EpochSys::format(heap, EpochConfig::manual());
         assert!(es.is_disabled());
         let e = es.begin_op();
@@ -785,11 +936,11 @@ mod tests {
         let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let workers = 4;
         let ops_per_worker = 1500u64;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for w in 0..workers as u64 {
                 let es = Arc::clone(&es);
                 let done = Arc::clone(&done);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut prev: Option<NvmAddr> = None;
                     for _ in 0..ops_per_worker {
                         let e = es.begin_op();
@@ -811,7 +962,7 @@ mod tests {
             }
             let es2 = Arc::clone(&es);
             let done2 = Arc::clone(&done);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 while done2.load(Ordering::SeqCst) < workers {
                     es2.advance();
                     std::thread::sleep(std::time::Duration::from_millis(1));
@@ -819,10 +970,103 @@ mod tests {
                 es2.advance();
                 es2.advance();
             });
-        })
-        .unwrap();
+        });
         assert!(es.stats().advances.load(Ordering::Relaxed) >= 2);
         assert!(es.stats().blocks_persisted.load(Ordering::Relaxed) > 0);
         assert!(es.stats().blocks_reclaimed.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn injected_advance_failures_then_retry_succeeds() {
+        let es = fresh();
+        let e0 = es.current_epoch();
+        es.inject_advance_failures(2);
+        assert_eq!(es.try_advance(), Err(AdvanceFault::Injected));
+        assert_eq!(es.try_advance(), Err(AdvanceFault::Injected));
+        assert_eq!(es.current_epoch(), e0, "failed attempts move no state");
+        assert_eq!(es.try_advance(), Ok(()));
+        assert_eq!(es.current_epoch(), e0 + 1);
+        assert_eq!(es.stats().advance_failures.load(Ordering::Relaxed), 2);
+
+        // advance() absorbs a burst shorter than its retry budget.
+        es.inject_advance_failures(2); // default advance_retries = 3
+        es.advance();
+        assert_eq!(es.current_epoch(), e0 + 2);
+
+        // ... but gives up (without hanging) on a longer one.
+        es.inject_advance_failures(100);
+        es.advance();
+        assert_eq!(es.current_epoch(), e0 + 2, "budget exhausted: no advance");
+        es.clear_advance_faults();
+        es.advance();
+        assert_eq!(es.current_epoch(), e0 + 3);
+    }
+
+    #[test]
+    fn seeded_advance_failure_rate_is_deterministic() {
+        let pattern = |seed: u64| {
+            let es = fresh();
+            es.inject_advance_failure_rate(seed, 0.5);
+            (0..64)
+                .map(|_| es.try_advance().is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pattern(7), pattern(7), "same seed, same schedule");
+        assert_ne!(pattern(7), pattern(8), "different seeds diverge");
+        let p = pattern(7);
+        assert!(p.contains(&true) && p.contains(&false));
+    }
+
+    #[test]
+    fn buffered_words_drain_on_advance_and_abort() {
+        let es = fresh();
+        assert_eq!(es.buffered_words(), 0);
+        let e = es.begin_op();
+        let blk = es.p_new(2);
+        Header::set_epoch(es.heap(), blk, e);
+        es.p_track(blk);
+        es.end_op();
+        assert!(es.buffered_words() > 0);
+        es.advance();
+        es.advance();
+        assert_eq!(es.buffered_words(), 0, "flushed set leaves the account");
+
+        let _e = es.begin_op();
+        let blk2 = es.p_new(1);
+        es.p_track(blk2);
+        assert!(es.buffered_words() > 0);
+        es.abort_op();
+        assert_eq!(es.buffered_words(), 0, "aborted tracking is refunded");
+    }
+
+    #[test]
+    fn backpressure_bounds_buffered_growth() {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(8 << 20)));
+        let bound = 256;
+        let es = EpochSys::format(heap, EpochConfig::manual().with_max_buffered_words(bound));
+        let mut peak = 0;
+        for _ in 0..300 {
+            let e = es.begin_op();
+            let blk = es.p_new(2);
+            Header::set_epoch(es.heap(), blk, e);
+            es.p_track(blk);
+            es.end_op();
+            peak = peak.max(es.buffered_words());
+        }
+        assert!(
+            es.stats().backpressure_advances.load(Ordering::Relaxed) > 0,
+            "the bound must have triggered helping advances"
+        );
+        // Each helping advance drains the previous epoch's buffer, so the
+        // set can hold at most ~two epochs of tracking: the bound plus
+        // the accumulation that crossed it.
+        assert!(
+            peak <= 3 * bound,
+            "buffered set must stay bounded, peaked at {peak}"
+        );
+        assert!(
+            es.persisted_frontier() > EPOCH_START,
+            "backpressure advances must move the frontier"
+        );
     }
 }

@@ -84,7 +84,10 @@ mod recovery;
 mod ticker;
 
 pub use config::EpochConfig;
-pub use esys::{payload, EpochStats, EpochSys, PreallocSlots, UpdateKind, EMPTY_EPOCH, EPOCH_START, OLD_SEE_NEW};
+pub use esys::{
+    payload, AdvanceFault, EpochStats, EpochSys, PreallocSlots, UpdateKind, EMPTY_EPOCH,
+    EPOCH_START, OLD_SEE_NEW,
+};
 pub use persist_alloc::INVALID_EPOCH;
 pub use recovery::LiveBlock;
 pub use ticker::EpochTicker;

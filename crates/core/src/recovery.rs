@@ -139,10 +139,7 @@ mod tests {
         assert_eq!(live.len(), 1);
         assert_eq!(live[0].addr, b1);
         assert_eq!(live[0].tag, 7);
-        assert_eq!(
-            es2.payload_word(b1, 0).load(Ordering::Relaxed),
-            111
-        );
+        assert_eq!(es2.payload_word(b1, 0).load(Ordering::Relaxed), 111);
         // Clock resumed past everything that ever existed.
         assert!(es2.current_epoch() > es2.persisted_frontier() + 2);
     }
@@ -221,6 +218,93 @@ mod tests {
         assert_eq!(live.len(), 1, "exactly the old version must survive");
         assert_eq!(live[0].addr, old);
         assert_eq!(es2.payload_word(old, 0).load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn recovery_is_idempotent_under_crashes_during_recovery() {
+        use nvm_sim::{CrashTriggered, FaultPlan};
+
+        // A heap with every recovery-relevant block kind: two durable
+        // publishes, an undurable deletion (must be resurrected), and an
+        // undurable publish (must be reclaimed).
+        let es = fresh();
+        let (_e1, _b1) = publish(&es, 10, 1);
+        let (_e2, b2) = publish(&es, 20, 2);
+        es.advance();
+        es.advance();
+        let _e = es.begin_op();
+        es.p_retire(b2);
+        es.end_op();
+        let (_e3, _b3) = publish(&es, 30, 3);
+
+        let key = |live: &[LiveBlock]| {
+            let mut v: Vec<_> = live.iter().map(|b| (b.addr, b.epoch, b.tag)).collect();
+            v.sort();
+            v
+        };
+        let recover_plain = |img| {
+            let (_es, live) =
+                EpochSys::recover(Arc::new(NvmHeap::from_image(img)), EpochConfig::manual(), 1);
+            key(&live)
+        };
+        // Runs recovery with `plan` armed; Ok(live-set) if it completes,
+        // Err(image) if the plan crashed it.
+        let recover_faulted = |img, plan: &Arc<FaultPlan>| {
+            let h = Arc::new(NvmHeap::from_image(img));
+            h.arm_fault_plan(Arc::clone(plan));
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let (_es, live) = EpochSys::recover(Arc::clone(&h), EpochConfig::manual(), 1);
+                key(&live)
+            }));
+            match r {
+                Ok(k) => Ok(k),
+                Err(p) => {
+                    assert!(p.downcast_ref::<CrashTriggered>().is_some());
+                    Err(plan.take_image().expect("image captured at crash"))
+                }
+            }
+        };
+
+        let want = recover_plain(es.heap().crash());
+        assert_eq!(want.len(), 2, "b1 plus resurrected b2");
+
+        // Enumerate recovery's own crash points (resurrection persists,
+        // reclamation flushes), then crash it at each and re-recover.
+        let counter = Arc::new(FaultPlan::count());
+        assert!(
+            recover_faulted(es.heap().crash(), &counter).is_ok(),
+            "count mode must not crash"
+        );
+        let n = counter.points();
+        assert!(n > 0, "recovery must cross persist boundaries");
+
+        for i in 0..n {
+            let plan = Arc::new(FaultPlan::crash_at(i));
+            let Err(img) = recover_faulted(es.heap().crash(), &plan) else {
+                panic!("recovery point {i} must crash");
+            };
+            assert_eq!(
+                recover_plain(img),
+                want,
+                "re-recovery after a crash at recovery point {i} diverged"
+            );
+
+            // Double crash: interrupt the *second* recovery too.
+            let plan1 = Arc::new(FaultPlan::crash_at(i));
+            let plan2 = Arc::new(FaultPlan::crash_at(i / 2));
+            let Err(img1) = recover_faulted(es.heap().crash(), &plan1) else {
+                panic!("recovery point {i} must crash on replay")
+            };
+            match recover_faulted(img1, &plan2) {
+                Ok(k) => assert_eq!(k, want),
+                Err(img2) => assert_eq!(
+                    recover_plain(img2),
+                    want,
+                    "third recovery after a double crash (points {i}, {}) diverged",
+                    i / 2
+                ),
+            }
+        }
     }
 
     #[test]

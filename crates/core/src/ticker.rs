@@ -95,4 +95,29 @@ mod tests {
             "expected several epoch advances, got {before} -> {after}"
         );
     }
+
+    #[test]
+    fn ticker_survives_injected_advance_failures() {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(2 << 20)));
+        let es = EpochSys::format(
+            heap,
+            EpochConfig::manual().with_epoch_len(Duration::from_millis(2)),
+        );
+        // A burst of failures longer than one advance()'s retry budget:
+        // the ticker must absorb it across ticks and keep advancing.
+        es.inject_advance_failures(10);
+        let before = es.current_epoch();
+        let ticker = EpochTicker::spawn(Arc::clone(&es));
+        std::thread::sleep(Duration::from_millis(120));
+        ticker.stop();
+        assert_eq!(
+            es.stats().advance_failures.load(Ordering::Relaxed),
+            10,
+            "every injected failure must have been consumed"
+        );
+        assert!(
+            es.current_epoch() >= before + 3,
+            "ticker must advance past the fault burst"
+        );
+    }
 }

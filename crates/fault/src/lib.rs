@@ -1,0 +1,22 @@
+//! Deterministic crash- and abort-injection harness for the BD-HTM
+//! reproduction.
+//!
+//! Ties the per-layer injectors together into an exhaustive recovery
+//! validator:
+//!
+//! * the NVM layer's numbered crash points and torn write-backs
+//!   ([`nvm_sim::FaultPlan`]),
+//! * the HTM layer's seeded abort injection
+//!   ([`htm_sim::HtmConfig::with_abort_injection`]),
+//! * the epoch system's injectable advance failures
+//!   ([`bdhtm_core::EpochSys::inject_advance_failures`]),
+//!
+//! and sweeps every persist boundary a workload crosses — see
+//! [`sweep`](crate::sweep) for the count→replay protocol.
+
+pub mod sweep;
+
+pub use sweep::{
+    enumerate_points, replay, seed_from_env, silence_crash_panics, sweep, sweep_all, ReplayVerdict,
+    SweepConfig, SweepReport, SweepTarget, UNIVERSE_BITS,
+};

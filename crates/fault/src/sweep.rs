@@ -1,0 +1,584 @@
+//! The crash-point sweep driver: exhaustive BDL recovery validation.
+//!
+//! The paper's guarantee — after a crash in epoch `e`, every structure
+//! recovers to a consistent state no older than the end of epoch `e−2`
+//! — is only as strong as the crash points it is tested at. This driver
+//! replaces hand-placed crashes with systematic enumeration:
+//!
+//! 1. **Count.** Run a seeded, mixed insert/remove/get workload with a
+//!    counting [`FaultPlan`] armed, learning the number `N` of persist
+//!    boundaries (`clwb`, fence, format, eviction write-back) the
+//!    workload crosses.
+//! 2. **Replay.** Re-run the identical workload `N` times, crashing at
+//!    point `i` on run `i`. The interrupted persist never reaches
+//!    media. Recover, and assert two things: the structure's own
+//!    [`validate`](SweepTarget::validate) invariants, and the **BDL
+//!    prefix property** — the recovered key/value state equals the fold
+//!    of exactly those logged mutations whose epoch is `≤` the
+//!    recovered frontier `R` (single-threaded histories make the
+//!    durable prefix exact, not merely bounded).
+//!
+//! Two adversarial twists, both seeded and reproducible:
+//!
+//! * **Torn writes** ([`SweepConfig::torn`]): at the crash instant a
+//!   random subset of dirty *words* drains to media — cache lines race
+//!   out of the write-pending queue, and ADR promises 8-byte atomicity
+//!   and nothing more.
+//! * **Double crash** ([`SweepConfig::double_crash`]): recovery itself
+//!   is crashed at a seeded point of *its own* enumerated schedule, and
+//!   the second recovery must still produce the same durable prefix —
+//!   the idempotent-recovery contract.
+//!
+//! The same [`SweepConfig`] (in particular the same `seed`, usually
+//! from the `FAULT_SEED` environment variable) produces the same
+//! workload, the same crash-point schedule, and the same verdicts.
+
+use bdhtm_core::{EpochConfig, EpochSys, LiveBlock};
+use hashtable::BdSpash;
+use htm_sim::{Htm, HtmConfig, SplitMix64};
+use nvm_sim::{CrashImage, CrashTriggered, FaultPlan, NvmConfig, NvmHeap};
+use skiplist::BdlSkiplist;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use veb::PhtmVeb;
+
+/// Universe bits for the vEB target; bounds every target's key space so
+/// the three structures see identical workloads.
+pub const UNIVERSE_BITS: u32 = 10;
+
+/// Reads the sweep seed from `FAULT_SEED` (decimal or `0x`-hex),
+/// falling back to `default`. Pinning `FAULT_SEED` pins the entire
+/// sweep: workload, crash schedule, torn-write masks, verdicts.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var("FAULT_SEED") {
+        Ok(s) => {
+            let s = s.trim().to_owned();
+            let parsed = match s.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("FAULT_SEED must be an integer, got {s:?}"))
+        }
+        Err(_) => default,
+    }
+}
+
+/// Parameters of one sweep. Everything is deterministic in `seed`.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Master seed (workload, eviction, torn writes, double-crash point).
+    pub seed: u64,
+    /// Mixed operations per run (1/2 insert, 1/4 remove, 1/4 get).
+    pub ops: usize,
+    /// Keys are drawn from `1..=keys` (must fit [`UNIVERSE_BITS`]).
+    pub keys: u64,
+    /// The epoch advances every this many operations.
+    pub advance_every: usize,
+    /// Every this many operations, evict [`SweepConfig::evict_lines`]
+    /// random cache lines (0 = no background eviction).
+    pub evict_every: usize,
+    /// Lines per eviction burst.
+    pub evict_lines: usize,
+    /// Tear the write-pending queue at the crash instant.
+    pub torn: bool,
+    /// Also crash recovery at a seeded point and re-recover.
+    pub double_crash: bool,
+    /// Replay at most this many crash points, evenly strided over the
+    /// schedule (0 = replay every point).
+    pub max_replays: u64,
+    /// Simulated NVM size per run.
+    pub heap_bytes: usize,
+    /// HTM configuration for the workload side (set abort injection
+    /// here to sweep crashes *through the fallback path*).
+    pub htm: HtmConfig,
+}
+
+impl SweepConfig {
+    /// A sweep sized for CI: a few hundred crash points per structure.
+    pub fn quick(seed: u64) -> Self {
+        SweepConfig {
+            seed,
+            ops: 240,
+            keys: 96,
+            advance_every: 24,
+            evict_every: 17,
+            evict_lines: 3,
+            torn: false,
+            double_crash: false,
+            max_replays: 0,
+            heap_bytes: 8 << 20,
+            htm: HtmConfig::for_tests(),
+        }
+    }
+
+    pub fn with_torn_writes(mut self) -> Self {
+        self.torn = true;
+        self
+    }
+
+    pub fn with_double_crash(mut self) -> Self {
+        self.double_crash = true;
+        self
+    }
+
+    pub fn with_max_replays(mut self, n: u64) -> Self {
+        self.max_replays = n;
+        self
+    }
+
+    pub fn with_htm(mut self, htm: HtmConfig) -> Self {
+        self.htm = htm;
+        self
+    }
+}
+
+/// A structure family the sweep can drive. All three BDL structures
+/// (PHTM-vEB, BDL-Skiplist, BD-Spash) implement it with `u64` keys in
+/// `1..2^UNIVERSE_BITS` and arbitrary `u64` values.
+pub trait SweepTarget: Sized {
+    const NAME: &'static str;
+    fn build(esys: Arc<EpochSys>, htm: Arc<Htm>) -> Self;
+    fn rebuild(esys: Arc<EpochSys>, htm: Arc<Htm>, live: &[LiveBlock]) -> Self;
+    fn insert(&self, key: u64, value: u64);
+    fn remove(&self, key: u64);
+    fn get(&self, key: u64) -> Option<u64>;
+    fn validate(&self) -> Result<(), String>;
+}
+
+impl SweepTarget for PhtmVeb {
+    const NAME: &'static str = "phtm-veb";
+    fn build(esys: Arc<EpochSys>, htm: Arc<Htm>) -> Self {
+        PhtmVeb::new(UNIVERSE_BITS, esys, htm)
+    }
+    fn rebuild(esys: Arc<EpochSys>, htm: Arc<Htm>, live: &[LiveBlock]) -> Self {
+        PhtmVeb::recover(UNIVERSE_BITS, esys, htm, live, 1)
+    }
+    fn insert(&self, key: u64, value: u64) {
+        PhtmVeb::insert(self, key, value);
+    }
+    fn remove(&self, key: u64) {
+        PhtmVeb::remove(self, key);
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        PhtmVeb::get(self, key)
+    }
+    fn validate(&self) -> Result<(), String> {
+        PhtmVeb::validate(self)
+    }
+}
+
+impl SweepTarget for BdlSkiplist {
+    const NAME: &'static str = "bdl-skiplist";
+    fn build(esys: Arc<EpochSys>, htm: Arc<Htm>) -> Self {
+        BdlSkiplist::new(esys, htm)
+    }
+    fn rebuild(esys: Arc<EpochSys>, htm: Arc<Htm>, live: &[LiveBlock]) -> Self {
+        BdlSkiplist::recover(esys, htm, live, 1)
+    }
+    fn insert(&self, key: u64, value: u64) {
+        BdlSkiplist::insert(self, key, value);
+    }
+    fn remove(&self, key: u64) {
+        BdlSkiplist::remove(self, key);
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        BdlSkiplist::get(self, key)
+    }
+    fn validate(&self) -> Result<(), String> {
+        BdlSkiplist::validate(self)
+    }
+}
+
+impl SweepTarget for BdSpash {
+    const NAME: &'static str = "bd-spash";
+    fn build(esys: Arc<EpochSys>, htm: Arc<Htm>) -> Self {
+        BdSpash::new(esys, htm)
+    }
+    fn rebuild(esys: Arc<EpochSys>, htm: Arc<Htm>, live: &[LiveBlock]) -> Self {
+        BdSpash::recover(esys, htm, live)
+    }
+    fn insert(&self, key: u64, value: u64) {
+        BdSpash::insert(self, key, value);
+    }
+    fn remove(&self, key: u64) {
+        BdSpash::remove(self, key);
+    }
+    fn get(&self, key: u64) -> Option<u64> {
+        BdSpash::get(self, key)
+    }
+    fn validate(&self) -> Result<(), String> {
+        BdSpash::validate(self)
+    }
+}
+
+/// A logged state mutation, with the epoch it executed in.
+#[derive(Clone, Copy, Debug)]
+enum Mutation {
+    Insert(u64, u64),
+    Remove(u64),
+}
+
+/// Outcome of one crash-point replay.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplayVerdict {
+    /// Whether the armed point fired (false means the workload finished
+    /// first and the replay crashed at its natural end instead).
+    pub fired: bool,
+    /// Whether double-crash mode interrupted recovery too.
+    pub double_crashed: bool,
+}
+
+/// Aggregate result of [`sweep`].
+#[derive(Debug)]
+pub struct SweepReport {
+    pub structure: &'static str,
+    /// Crash points the workload enumerates.
+    pub points: u64,
+    /// Points actually replayed (`min(points, max_replays)`).
+    pub replays: u64,
+    /// Replays where the armed crash fired.
+    pub fired: u64,
+    /// Replays whose recovery was itself crashed and re-run.
+    pub double_crashes: u64,
+    /// Prefix-property or invariant violations, one line each.
+    pub failures: Vec<String>,
+}
+
+impl SweepReport {
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for the
+/// [`CrashTriggered`] unwinds a sweep throws by the hundreds, and
+/// delegates everything else to the previous hook.
+pub fn silence_crash_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashTriggered>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn setup<T: SweepTarget>(cfg: &SweepConfig) -> (Arc<NvmHeap>, Arc<EpochSys>, T) {
+    let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(cfg.heap_bytes)));
+    let esys = EpochSys::format(Arc::clone(&heap), EpochConfig::manual());
+    let t = T::build(Arc::clone(&esys), Arc::new(Htm::new(cfg.htm.clone())));
+    (heap, esys, t)
+}
+
+/// The seeded mixed workload. Logs every mutation with the epoch it ran
+/// in; the log is the ground truth the prefix oracle folds over.
+fn run_workload<T: SweepTarget>(
+    t: &T,
+    esys: &EpochSys,
+    cfg: &SweepConfig,
+    log: &mut Vec<(u64, Mutation)>,
+) {
+    let mut rng = SplitMix64::new(cfg.seed);
+    for i in 0..cfg.ops {
+        if cfg.evict_every != 0 && i % cfg.evict_every == cfg.evict_every - 1 {
+            esys.heap()
+                .evict_random_lines(cfg.evict_lines, rng.next_u64());
+        }
+        let key = 1 + rng.next_below(cfg.keys);
+        let value = rng.next_u64() | 1;
+        match rng.next_below(8) {
+            0..=3 => {
+                log.push((esys.current_epoch(), Mutation::Insert(key, value)));
+                t.insert(key, value);
+            }
+            4..=5 => {
+                log.push((esys.current_epoch(), Mutation::Remove(key)));
+                t.remove(key);
+            }
+            _ => {
+                t.get(key);
+            }
+        }
+        if i % cfg.advance_every == cfg.advance_every - 1 {
+            esys.advance();
+        }
+    }
+}
+
+/// Folds the logged history up to (and including) epoch `frontier`: the
+/// exact state a single-threaded run must recover to.
+fn durable_prefix(log: &[(u64, Mutation)], frontier: u64) -> BTreeMap<u64, u64> {
+    let mut m = BTreeMap::new();
+    for &(e, op) in log {
+        if e > frontier {
+            break; // single-threaded log: epochs are monotone
+        }
+        match op {
+            Mutation::Insert(k, v) => {
+                m.insert(k, v);
+            }
+            Mutation::Remove(k) => {
+                m.remove(&k);
+            }
+        }
+    }
+    m
+}
+
+/// Counts the workload's crash points without crashing.
+pub fn enumerate_points<T: SweepTarget>(cfg: &SweepConfig) -> u64 {
+    let (heap, esys, t) = setup::<T>(cfg);
+    let plan = Arc::new(FaultPlan::count());
+    heap.arm_fault_plan(Arc::clone(&plan));
+    let mut log = Vec::new();
+    run_workload(&t, &esys, cfg, &mut log);
+    heap.disarm_fault_plan();
+    plan.points()
+}
+
+/// Runs the workload with a crash armed at `point`; returns the crash
+/// image, the mutation log, and whether the point fired. A point at or
+/// beyond the schedule's end degenerates to a crash after the final
+/// operation — still a legal crash.
+fn crash_at<T: SweepTarget>(
+    cfg: &SweepConfig,
+    point: u64,
+) -> (CrashImage, Vec<(u64, Mutation)>, bool) {
+    let (heap, esys, t) = setup::<T>(cfg);
+    let mut plan = FaultPlan::crash_at(point);
+    if cfg.torn {
+        plan = plan.with_torn_writes(cfg.seed ^ point.rotate_left(17));
+    }
+    let plan = Arc::new(plan);
+    heap.arm_fault_plan(Arc::clone(&plan));
+    let mut log = Vec::new();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_workload(&t, &esys, cfg, &mut log);
+    }));
+    heap.disarm_fault_plan();
+    match outcome {
+        Ok(()) => (heap.crash(), log, false),
+        Err(payload) => {
+            assert!(
+                payload.downcast_ref::<CrashTriggered>().is_some(),
+                "workload panicked with something other than an injected crash"
+            );
+            let img = plan.take_image().expect("fired plan must capture an image");
+            (img, log, true)
+        }
+    }
+}
+
+/// Recovers `img` and returns the recovered system, target, and frontier.
+fn recover<T: SweepTarget>(img: CrashImage) -> (Arc<EpochSys>, T, u64) {
+    let heap = Arc::new(NvmHeap::from_image(img));
+    let (esys, live) = EpochSys::recover(heap, EpochConfig::manual(), 1);
+    let r = esys.persisted_frontier();
+    let t = T::rebuild(
+        Arc::clone(&esys),
+        Arc::new(Htm::new(HtmConfig::for_tests())),
+        &live,
+    );
+    (esys, t, r)
+}
+
+/// Double-crash mode: crash recovery itself at a seeded point of its own
+/// schedule and hand back the second image. Returns `None` when the
+/// chosen point never fired (recovery completed on the throwaway heap).
+fn crash_during_recovery<T: SweepTarget>(
+    cfg: &SweepConfig,
+    img: &CrashImage,
+    point: u64,
+) -> Option<CrashImage> {
+    // Enumerate recovery's own crash points on a clone of the image.
+    let counter = Arc::new(FaultPlan::count());
+    {
+        let heap = Arc::new(NvmHeap::from_image(img.duplicate()));
+        heap.arm_fault_plan(Arc::clone(&counter));
+        let (esys, live) = EpochSys::recover(Arc::clone(&heap), EpochConfig::manual(), 1);
+        let _t = T::rebuild(esys, Arc::new(Htm::new(HtmConfig::for_tests())), &live);
+        heap.disarm_fault_plan();
+    }
+    let n = counter.points();
+    if n == 0 {
+        return None;
+    }
+    let j = SplitMix64::new(cfg.seed ^ point.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_below(n);
+
+    let mut plan = FaultPlan::crash_at(j);
+    if cfg.torn {
+        plan = plan.with_torn_writes(cfg.seed ^ j.rotate_left(31) ^ point);
+    }
+    let plan = Arc::new(plan);
+    let heap = Arc::new(NvmHeap::from_image(img.duplicate()));
+    heap.arm_fault_plan(Arc::clone(&plan));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let (esys, live) = EpochSys::recover(Arc::clone(&heap), EpochConfig::manual(), 1);
+        let _t = T::rebuild(esys, Arc::new(Htm::new(HtmConfig::for_tests())), &live);
+    }));
+    heap.disarm_fault_plan();
+    match outcome {
+        Ok(()) => None,
+        Err(payload) => {
+            assert!(
+                payload.downcast_ref::<CrashTriggered>().is_some(),
+                "recovery panicked with something other than an injected crash"
+            );
+            Some(plan.take_image().expect("fired plan must capture an image"))
+        }
+    }
+}
+
+/// Checks the recovered target against the prefix oracle and its own
+/// structural invariants.
+fn check_recovered<T: SweepTarget>(
+    t: &T,
+    log: &[(u64, Mutation)],
+    frontier: u64,
+    cfg: &SweepConfig,
+    ctx: &str,
+) -> Result<(), String> {
+    t.validate()
+        .map_err(|e| format!("{ctx}: structural invariant violated: {e}"))?;
+    let want = durable_prefix(log, frontier);
+    for key in 1..=cfg.keys {
+        let got = t.get(key);
+        let expect = want.get(&key).copied();
+        if got != expect {
+            return Err(format!(
+                "{ctx}: key {key} diverged after recovery: got {got:?}, want {expect:?} \
+                 (frontier {frontier})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One full replay: crash the workload at `point`, (optionally) crash
+/// recovery too, recover, and check the e−2 prefix property plus the
+/// structure's invariants.
+pub fn replay<T: SweepTarget>(cfg: &SweepConfig, point: u64) -> Result<ReplayVerdict, String> {
+    silence_crash_panics();
+    let (img, log, fired) = crash_at::<T>(cfg, point);
+    let mut double_crashed = false;
+    let img = if cfg.double_crash {
+        match crash_during_recovery::<T>(cfg, &img, point) {
+            Some(second) => {
+                double_crashed = true;
+                second
+            }
+            None => img,
+        }
+    } else {
+        img
+    };
+    let ctx = format!(
+        "{} point {point}{}{}",
+        T::NAME,
+        if cfg.torn { " (torn)" } else { "" },
+        if double_crashed {
+            " (double crash)"
+        } else {
+            ""
+        },
+    );
+    let (_esys, t, frontier) = recover::<T>(img);
+    check_recovered(&t, &log, frontier, cfg, &ctx)?;
+    Ok(ReplayVerdict {
+        fired,
+        double_crashed,
+    })
+}
+
+/// The points [`sweep`] will replay: all of them, or an even stride.
+fn chosen_points(points: u64, max_replays: u64) -> Vec<u64> {
+    if max_replays == 0 || points <= max_replays {
+        (0..points).collect()
+    } else {
+        (0..max_replays).map(|i| i * points / max_replays).collect()
+    }
+}
+
+/// Runs the full count→replay protocol for one structure family.
+pub fn sweep<T: SweepTarget>(cfg: &SweepConfig) -> SweepReport {
+    silence_crash_panics();
+    let points = enumerate_points::<T>(cfg);
+    let mut report = SweepReport {
+        structure: T::NAME,
+        points,
+        replays: 0,
+        fired: 0,
+        double_crashes: 0,
+        failures: Vec::new(),
+    };
+    for point in chosen_points(points, cfg.max_replays) {
+        report.replays += 1;
+        match replay::<T>(cfg, point) {
+            Ok(v) => {
+                report.fired += v.fired as u64;
+                report.double_crashes += v.double_crashed as u64;
+            }
+            Err(e) => report.failures.push(e),
+        }
+    }
+    report
+}
+
+/// Sweeps all three BDL structure families with the same config.
+pub fn sweep_all(cfg: &SweepConfig) -> Vec<SweepReport> {
+    vec![
+        sweep::<PhtmVeb>(cfg),
+        sweep::<BdlSkiplist>(cfg),
+        sweep::<BdSpash>(cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = SweepConfig::quick(0xFA_57EED);
+        let a = enumerate_points::<PhtmVeb>(&cfg);
+        let b = enumerate_points::<PhtmVeb>(&cfg);
+        assert_eq!(a, b, "identical seed must enumerate identical points");
+        let other = enumerate_points::<PhtmVeb>(&SweepConfig::quick(0xFA_57EED + 1));
+        assert_ne!(a, other, "different seeds should shift the schedule");
+    }
+
+    #[test]
+    fn workloads_enumerate_enough_points() {
+        let cfg = SweepConfig::quick(7);
+        assert!(enumerate_points::<PhtmVeb>(&cfg) >= 100);
+        assert!(enumerate_points::<BdlSkiplist>(&cfg) >= 100);
+        assert!(enumerate_points::<BdSpash>(&cfg) >= 100);
+    }
+
+    #[test]
+    fn single_replay_round_trips() {
+        let cfg = SweepConfig::quick(21);
+        let v = replay::<BdSpash>(&cfg, 5).expect("replay at point 5");
+        assert!(v.fired, "an early point must fire");
+    }
+
+    #[test]
+    fn replay_beyond_schedule_crashes_at_the_end() {
+        let cfg = SweepConfig::quick(21);
+        let v = replay::<PhtmVeb>(&cfg, u64::MAX).expect("end-of-run crash");
+        assert!(!v.fired);
+    }
+
+    #[test]
+    fn chosen_points_cover_and_stride() {
+        assert_eq!(chosen_points(4, 0), vec![0, 1, 2, 3]);
+        assert_eq!(chosen_points(4, 8), vec![0, 1, 2, 3]);
+        let s = chosen_points(100, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 0);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+}

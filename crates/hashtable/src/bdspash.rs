@@ -14,9 +14,9 @@
 use crate::hash64;
 use crate::hotspot::HotspotDetector;
 use bdhtm_core::{payload, EpochSys, LiveBlock, PreallocSlots, UpdateKind, OLD_SEE_NEW};
+use htm_sim::sync::RwLock;
 use htm_sim::{FallbackLock, Htm, MemAccess, RunError, TxResult};
 use nvm_sim::NvmAddr;
-use parking_lot::RwLock;
 use persist_alloc::{class_for_payload, Header, CLASS_WORDS};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -35,6 +35,10 @@ const SEG_SLOTS: usize = NBUCKETS * BUCKET_SLOTS;
 /// A value block counts as "large" (eagerly persisted when cold) from
 /// this size class upward (256 B = one XPLine).
 const LARGE_CLASS: usize = 2;
+
+/// `scan` result: `(slot_index, block)` of a match, plus the first free
+/// slot index seen on the probe path.
+type ScanHit = (Option<(usize, NvmAddr)>, Option<usize>);
 
 struct Segment {
     local_depth: u32,
@@ -135,7 +139,7 @@ impl BdSpash {
         seg: &'e Segment,
         bucket: usize,
         key: u64,
-    ) -> TxResult<(Option<(usize, NvmAddr)>, Option<usize>)> {
+    ) -> TxResult<ScanHit> {
         let heap = self.esys.heap();
         let mut free = None;
         for i in 0..BUCKET_SLOTS {
@@ -194,9 +198,7 @@ impl BdSpash {
             Header::set_tag(heap, blk, BDSPASH_KV_TAG);
 
             let dir = self.dir.read();
-            let seg = Arc::clone(
-                &dir.segments[(h & ((1 << dir.global_depth) - 1)) as usize],
-            );
+            let seg = Arc::clone(&dir.segments[(h & ((1 << dir.global_depth) - 1)) as usize]);
             let bucket = Self::bucket_of(h);
             let result = self.htm.run(&self.lock, |m| {
                 self.esys.set_epoch(m, blk, op_epoch)?;
@@ -272,9 +274,7 @@ impl BdSpash {
         loop {
             let op_epoch = self.esys.begin_op();
             let dir = self.dir.read();
-            let seg = Arc::clone(
-                &dir.segments[(h & ((1 << dir.global_depth) - 1)) as usize],
-            );
+            let seg = Arc::clone(&dir.segments[(h & ((1 << dir.global_depth) - 1)) as usize]);
             let bucket = Self::bucket_of(h);
             let result = self.htm.run(&self.lock, |m| {
                 let (found, _) = self.scan(m, &seg, bucket, key)?;
@@ -361,7 +361,9 @@ impl BdSpash {
             if blk == 0 {
                 continue;
             }
-            let k = heap.word(payload(NvmAddr(blk), P_KEY)).load(Ordering::Acquire);
+            let k = heap
+                .word(payload(NvmAddr(blk), P_KEY))
+                .load(Ordering::Acquire);
             let hk = hash64(k);
             let tgt = if hk & (1 << ld) == 0 { &a } else { &b };
             let bucket = Self::bucket_of(hk);
@@ -415,6 +417,102 @@ impl BdSpash {
     pub fn drain_preallocated(&self) {
         self.new_blk.drain(&self.esys);
     }
+
+    /// Structural invariant check for the fault-injection harness. Call
+    /// while quiescent (e.g. right after recovery); verifies:
+    ///
+    /// * the directory holds `2^global_depth` entries, every segment's
+    ///   local depth is at most the global depth, and all entries
+    ///   sharing a segment agree with its canonical (low-bits) entry;
+    /// * every occupied slot holds an allocated block tagged
+    ///   [`BDSPASH_KV_TAG`] with a valid (claimed, not-from-the-future)
+    ///   epoch, whose key hashes back to exactly that segment and
+    ///   bucket;
+    /// * no key and no block appears twice.
+    pub fn validate(&self) -> Result<(), String> {
+        use persist_alloc::BlockState;
+        use std::collections::HashSet;
+        let heap = self.esys.heap();
+        let clock = self.esys.current_epoch();
+        let dir = self.dir.read();
+        let mask = (1u64 << dir.global_depth) - 1;
+        if dir.segments.len() != 1usize << dir.global_depth {
+            return Err(format!(
+                "validate: {} directory entries for global depth {}",
+                dir.segments.len(),
+                dir.global_depth
+            ));
+        }
+        let mut keys: HashSet<u64> = HashSet::new();
+        let mut blocks: HashSet<u64> = HashSet::new();
+        for (e, seg) in dir.segments.iter().enumerate() {
+            if seg.local_depth > dir.global_depth {
+                return Err(format!(
+                    "validate: entry {e} has local depth {} > global {}",
+                    seg.local_depth, dir.global_depth
+                ));
+            }
+            let canon = e & ((1usize << seg.local_depth) - 1);
+            if !Arc::ptr_eq(seg, &dir.segments[canon]) {
+                return Err(format!(
+                    "validate: entries {e} and {canon} disagree on a depth-{} segment",
+                    seg.local_depth
+                ));
+            }
+            if e != canon {
+                continue; // scan each segment once, at its canonical entry
+            }
+            for idx in 0..SEG_SLOTS {
+                let raw = seg.slots[idx].load(Ordering::Acquire);
+                if raw == 0 {
+                    continue;
+                }
+                let blk = NvmAddr(raw);
+                match Header::state(heap, blk) {
+                    Some((BlockState::Allocated, _)) => {}
+                    other => {
+                        return Err(format!(
+                            "entry {e} slot {idx}: block {blk:?} not allocated ({other:?})"
+                        ))
+                    }
+                }
+                let tag = Header::tag(heap, blk);
+                if tag != BDSPASH_KV_TAG {
+                    return Err(format!(
+                        "entry {e} slot {idx}: block {blk:?} has foreign tag {tag:#x}"
+                    ));
+                }
+                let be = Header::epoch(heap, blk);
+                if be == persist_alloc::INVALID_EPOCH || be > clock {
+                    return Err(format!(
+                        "entry {e} slot {idx}: block {blk:?} carries invalid epoch {be} \
+                         (clock {clock})"
+                    ));
+                }
+                let key = heap.word(payload(blk, P_KEY)).load(Ordering::Acquire);
+                let h = hash64(key);
+                if !Arc::ptr_eq(&dir.segments[(h & mask) as usize], seg) {
+                    return Err(format!(
+                        "key {key} stored in a segment its hash does not select"
+                    ));
+                }
+                if idx / BUCKET_SLOTS != Self::bucket_of(h) {
+                    return Err(format!(
+                        "key {key} stored in bucket {} but hashes to bucket {}",
+                        idx / BUCKET_SLOTS,
+                        Self::bucket_of(h)
+                    ));
+                }
+                if !keys.insert(key) {
+                    return Err(format!("key {key} present twice"));
+                }
+                if !blocks.insert(raw) {
+                    return Err(format!("block {blk:?} referenced twice"));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -453,6 +551,7 @@ mod tests {
         for k in 0..n {
             assert_eq!(t.get(k), Some(k + 5), "key {k} lost in split");
         }
+        t.validate().expect("post-split invariants");
     }
 
     #[test]
@@ -479,10 +578,10 @@ mod tests {
     #[test]
     fn concurrent_ops_with_splits() {
         let t = Arc::new(setup());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let t = Arc::clone(&t);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..5000u64 {
                         let k = tid * 1_000_000 + i;
                         t.insert(k, k + 1);
@@ -492,8 +591,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for tid in 0..4u64 {
             for i in 0..5000u64 {
                 let k = tid * 1_000_000 + i;
@@ -516,6 +614,7 @@ mod tests {
         let heap2 = Arc::new(NvmHeap::from_image(t.epoch_sys().heap().crash()));
         let (esys2, live) = EpochSys::recover(heap2, EpochConfig::manual(), 2);
         let t2 = BdSpash::recover(esys2, Arc::new(Htm::new(HtmConfig::for_tests())), &live);
+        t2.validate().expect("post-recovery invariants");
         for k in 0..1000 {
             assert_eq!(t2.get(k), Some(k * 2), "durable key {k} lost");
         }
@@ -526,9 +625,7 @@ mod tests {
 
     #[test]
     fn eadr_heap_disables_epoch_tracking() {
-        let heap = Arc::new(NvmHeap::new(
-            NvmConfig::for_tests(32 << 20).with_eadr(true),
-        ));
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(32 << 20).with_eadr(true)));
         let esys = EpochSys::format(heap, EpochConfig::manual());
         assert!(esys.is_disabled());
         let t = BdSpash::new(esys, Arc::new(Htm::new(HtmConfig::for_tests())));
@@ -548,11 +645,7 @@ mod tests {
         let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(64 << 20)));
         let esys = EpochSys::format(heap, EpochConfig::manual());
         // 40-word values → 41-word payload → class 3 (1 KiB): "large".
-        let t = BdSpash::with_value_words(
-            esys,
-            Arc::new(Htm::new(HtmConfig::for_tests())),
-            40,
-        );
+        let t = BdSpash::with_value_words(esys, Arc::new(Htm::new(HtmConfig::for_tests())), 40);
         assert!(t.blocks_are_large());
         let before = t.epoch_sys().heap().stats().snapshot();
         // Distinct (cold) keys: eager persistence fires per insert.
@@ -566,10 +659,18 @@ mod tests {
             delta.lines_written_back
         );
         // And the epoch flusher has (almost) nothing left to do for them.
-        let flushed_before = t.epoch_sys().stats().blocks_persisted.load(Ordering::Relaxed);
+        let flushed_before = t
+            .epoch_sys()
+            .stats()
+            .blocks_persisted
+            .load(Ordering::Relaxed);
         t.epoch_sys().advance();
         t.epoch_sys().advance();
-        let flushed_after = t.epoch_sys().stats().blocks_persisted.load(Ordering::Relaxed);
+        let flushed_after = t
+            .epoch_sys()
+            .stats()
+            .blocks_persisted
+            .load(Ordering::Relaxed);
         assert_eq!(
             flushed_after - flushed_before,
             0,

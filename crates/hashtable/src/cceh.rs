@@ -12,8 +12,8 @@
 //! splits and directory doubling take the directory's write lock.
 
 use crate::hash64;
+use htm_sim::sync::{Mutex, RwLock};
 use nvm_sim::{NvmAddr, NvmHeap};
-use parking_lot::{Mutex, RwLock};
 use persist_alloc::{Header, PAlloc, HDR_WORDS};
 use std::sync::Arc;
 
@@ -107,9 +107,7 @@ impl Cceh {
             let meta = self.heap.read(meta_a);
             // Update in place?
             for i in 0..BUCKET_ENTRIES {
-                if meta & (1 << i) != 0
-                    && self.heap.read(self.bw(seg, bucket, 1 + 2 * i)) == key
-                {
+                if meta & (1 << i) != 0 && self.heap.read(self.bw(seg, bucket, 1 + 2 * i)) == key {
                     let va = self.bw(seg, bucket, 2 + 2 * i);
                     let old = self.heap.read(va);
                     self.heap.write(va, value);
@@ -383,18 +381,17 @@ mod tests {
     #[test]
     fn concurrent_inserts() {
         let t = Arc::new(table());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let t = Arc::clone(&t);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..3000u64 {
                         let k = tid * 1_000_000 + i;
                         t.insert(k, k ^ 7);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for tid in 0..4u64 {
             for i in 0..3000u64 {
                 let k = tid * 1_000_000 + i;
@@ -411,7 +408,11 @@ mod tests {
         let before = t.heap().stats().snapshot();
         t.insert(1, 1);
         let delta = t.heap().stats().snapshot().since(&before);
-        assert!(delta.flushes >= 3, "CCEH insert too cheap: {}", delta.flushes);
+        assert!(
+            delta.flushes >= 3,
+            "CCEH insert too cheap: {}",
+            delta.flushes
+        );
         assert!(delta.fences >= 2);
     }
 }

@@ -31,6 +31,10 @@ const MAX_PROBE: usize = 16;
 /// before the capacity error surfaces.
 const TABLE_FULL: u8 = 0xF1;
 
+/// `locate` result: `(slot_index, block)` of a match, plus the first
+/// free slot index on the probe path.
+type SlotHit = (Option<(usize, NvmAddr)>, Option<usize>);
+
 enum Outcome {
     Inserted,
     Replaced(NvmAddr),
@@ -58,7 +62,9 @@ impl BdhtHashMap {
             esys,
             htm,
             lock: FallbackLock::new(),
-            slots: (0..n_buckets * BUCKET_SIZE).map(|_| AtomicU64::new(0)).collect(),
+            slots: (0..n_buckets * BUCKET_SIZE)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             n_buckets,
             new_blk: PreallocSlots::new(KV_PAYLOAD_WORDS),
         }
@@ -78,11 +84,7 @@ impl BdhtHashMap {
 
     /// Transactionally locates `key`: `(slot_index, block)` if present,
     /// otherwise the first free slot index on the probe path.
-    fn locate<'e>(
-        &'e self,
-        m: &mut dyn MemAccess<'e>,
-        key: u64,
-    ) -> TxResult<(Option<(usize, NvmAddr)>, Option<usize>)> {
+    fn locate<'e>(&'e self, m: &mut dyn MemAccess<'e>, key: u64) -> TxResult<SlotHit> {
         let heap = self.esys.heap();
         let start = (hash64(key) as usize) & (self.n_buckets - 1);
         let mut free = None;
@@ -124,7 +126,8 @@ impl BdhtHashMap {
             let op_epoch = self.esys.begin_op();
             let blk = self.new_blk.take(&self.esys); // epoch reset to INVALID
             heap.word(payload(blk, P_KEY)).store(key, Ordering::Release);
-            heap.word(payload(blk, P_VAL)).store(value, Ordering::Release);
+            heap.word(payload(blk, P_VAL))
+                .store(value, Ordering::Release);
             Header::set_tag(heap, blk, LISTING1_KV_TAG);
 
             let result = self.htm.run(&self.lock, |m| {
@@ -352,10 +355,10 @@ mod tests {
             Arc::new(Htm::new(HtmConfig::for_tests())),
         ));
         let ticker = EpochTicker::spawn(esys);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let t = Arc::clone(&t);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut rng = tid + 91;
                     for _ in 0..4000 {
                         rng ^= rng >> 12;
@@ -378,8 +381,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         ticker.stop();
     }
 

@@ -16,8 +16,8 @@
 //! persistence per update and downward spills.
 
 use crate::hash64;
+use htm_sim::sync::Mutex;
 use nvm_sim::{NvmAddr, NvmHeap};
-use parking_lot::Mutex;
 use persist_alloc::{Header, PAlloc, HDR_WORDS};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -63,7 +63,9 @@ struct Bloom {
 impl Bloom {
     fn new(slots: usize) -> Self {
         Self {
-            bits: (0..(slots / 32).max(16)).map(|_| AtomicU64::new(0)).collect(),
+            bits: (0..(slots / 32).max(16))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
         }
     }
 
@@ -100,6 +102,9 @@ struct NvmLevel {
 }
 
 /// The log-structured hash table.
+/// A thread's active log block and its entry cursor.
+type LogCursor = Mutex<Option<(NvmAddr, u64)>>;
+
 pub struct Plush {
     heap: Arc<NvmHeap>,
     alloc: Arc<PAlloc>,
@@ -107,7 +112,7 @@ pub struct Plush {
     l0: Vec<Mutex<Vec<(u64, u64)>>>,
     levels: Mutex<Vec<NvmLevel>>,
     /// Per-thread active log block + entry cursor.
-    logs: Box<[Mutex<Option<(NvmAddr, u64)>>]>,
+    logs: Box<[LogCursor]>,
     /// Current log generation (entries of older generations are already
     /// reflected in the NVM levels).
     gen: AtomicU64,
@@ -135,7 +140,9 @@ impl Plush {
             alloc,
             l0: (0..L0_BUCKETS).map(|_| Mutex::new(Vec::new())).collect(),
             levels: Mutex::new(levels),
-            logs: (0..htm_sim::max_threads()).map(|_| Mutex::new(None)).collect(),
+            logs: (0..htm_sim::max_threads())
+                .map(|_| Mutex::new(None))
+                .collect(),
             gen: AtomicU64::new(1),
             merge_lock: Mutex::new(()),
         }
@@ -306,16 +313,17 @@ impl Plush {
             self.spill_bucket(levels, li, idx);
             return self.level_append(levels, li, key, value);
         }
-        let target = if !tail.is_null()
-            && self.heap.read(tail.offset(HDR_WORDS + B_COUNT)) < B_CAP
+        let target = if !tail.is_null() && self.heap.read(tail.offset(HDR_WORDS + B_COUNT)) < B_CAP
         {
             tail
         } else {
             let b = self.alloc.alloc_for_payload(B_PAYLOAD);
             Header::set_tag(&self.heap, b, PLUSH_BKT_TAG);
             Header::set_epoch(&self.heap, b, 0);
-            self.heap
-                .write(b.offset(HDR_WORDS + B_META), li as u64 | ((idx as u64) << 8));
+            self.heap.write(
+                b.offset(HDR_WORDS + B_META),
+                li as u64 | ((idx as u64) << 8),
+            );
             self.heap.write(b.offset(HDR_WORDS + B_NEXT), 0);
             self.heap.write(b.offset(HDR_WORDS + B_COUNT), 0);
             self.heap.persist_range(b, HDR_WORDS + B_PAIRS);
@@ -332,7 +340,8 @@ impl Plush {
         self.heap.write(e, key);
         self.heap.write(e.offset(1), value);
         self.heap.persist_range(e, 2); // a pair may straddle a line
-        self.heap.write(target.offset(HDR_WORDS + B_COUNT), count + 1);
+        self.heap
+            .write(target.offset(HDR_WORDS + B_COUNT), count + 1);
         self.heap.clwb(target.offset(HDR_WORDS + B_COUNT));
         levels[li].bloom.set(h);
     }
@@ -424,7 +433,9 @@ impl Plush {
             alloc: Arc::clone(&alloc),
             l0: (0..L0_BUCKETS).map(|_| Mutex::new(Vec::new())).collect(),
             levels: Mutex::new(levels),
-            logs: (0..htm_sim::max_threads()).map(|_| Mutex::new(None)).collect(),
+            logs: (0..htm_sim::max_threads())
+                .map(|_| Mutex::new(None))
+                .collect(),
             gen: AtomicU64::new(gen),
             merge_lock: Mutex::new(()),
         };
@@ -540,25 +551,28 @@ mod tests {
         let before = t.heap().stats().snapshot();
         t.insert(1, 1);
         let delta = t.heap().stats().snapshot().since(&before);
-        assert!(delta.flushes >= 2, "log append must flush: {}", delta.flushes);
+        assert!(
+            delta.flushes >= 2,
+            "log append must flush: {}",
+            delta.flushes
+        );
         assert!(delta.fences >= 1);
     }
 
     #[test]
     fn concurrent_inserts() {
         let t = Arc::new(table());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let t = Arc::clone(&t);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..3000u64 {
                         let k = tid * 1_000_000 + i;
                         t.insert(k, k + 2);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for tid in 0..4u64 {
             for i in 0..3000u64 {
                 let k = tid * 1_000_000 + i;

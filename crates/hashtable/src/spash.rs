@@ -23,9 +23,9 @@
 
 use crate::hash64;
 use crate::hotspot::HotspotDetector;
+use htm_sim::sync::RwLock;
 use htm_sim::{FallbackLock, Htm, MemAccess, TxResult};
 use nvm_sim::{NvmAddr, NvmHeap};
-use parking_lot::RwLock;
 use persist_alloc::{Header, PAlloc, HDR_WORDS};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -49,6 +49,10 @@ enum Outcome {
     Done(Option<u64>),
     NeedSplit,
 }
+
+/// `scan` result: `(entry_index, value)` of a match, plus the first
+/// free entry index in the bucket.
+type ScanHit = (Option<(u64, u64)>, Option<u64>);
 
 /// The eADR hash table.
 pub struct Spash {
@@ -139,7 +143,7 @@ impl Spash {
         seg: NvmAddr,
         bucket: u64,
         key: u64,
-    ) -> TxResult<(Option<(u64, u64)>, Option<u64>)> {
+    ) -> TxResult<ScanHit> {
         let meta = m.load(self.heap.word(self.bucket_word(seg, bucket, 0)))?;
         let mut free = None;
         for i in 0..BUCKET_ENTRIES {
@@ -179,8 +183,7 @@ impl Spash {
                             Ok(Outcome::Done(Some(old)))
                         }
                         (None, Some(i)) => {
-                            let meta =
-                                m.load(self.heap.word(self.bucket_word(seg, bucket, 0)))?;
+                            let meta = m.load(self.heap.word(self.bucket_word(seg, bucket, 0)))?;
                             m.store(
                                 self.heap.word(self.bucket_word(seg, bucket, 1 + 2 * i)),
                                 key,
@@ -303,10 +306,8 @@ impl Spash {
                 let slot = (0..BUCKET_ENTRIES)
                     .find(|j| tmeta & (1 << j) == 0)
                     .expect("split target bucket overflow");
-                self.heap
-                    .write(self.bucket_word(tgt, tb, 1 + 2 * slot), k);
-                self.heap
-                    .write(self.bucket_word(tgt, tb, 2 + 2 * slot), v);
+                self.heap.write(self.bucket_word(tgt, tb, 1 + 2 * slot), k);
+                self.heap.write(self.bucket_word(tgt, tb, 2 + 2 * slot), v);
                 self.heap.write(tmeta_addr, tmeta | (1 << slot));
             }
         }
@@ -417,9 +418,7 @@ mod tests {
     use std::collections::HashMap;
 
     fn eadr_table() -> Spash {
-        let heap = Arc::new(NvmHeap::new(
-            NvmConfig::for_tests(64 << 20).with_eadr(true),
-        ));
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(64 << 20).with_eadr(true)));
         Spash::new(heap, Arc::new(Htm::new(HtmConfig::for_tests())))
     }
 
@@ -467,18 +466,17 @@ mod tests {
     #[test]
     fn concurrent_inserts_and_reads() {
         let t = Arc::new(eadr_table());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for tid in 0..4u64 {
                 let t = Arc::clone(&t);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..4000u64 {
                         let k = tid * 100_000 + i;
                         t.insert(k, k ^ 0xF0F0);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         for tid in 0..4u64 {
             for i in 0..4000u64 {
                 let k = tid * 100_000 + i;
@@ -504,7 +502,10 @@ mod tests {
     fn adr_crash_loses_unflushed_data() {
         // The motivating failure: Spash on a volatile-cache machine.
         let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(64 << 20)));
-        let t = Spash::new(Arc::clone(&heap), Arc::new(Htm::new(HtmConfig::for_tests())));
+        let t = Spash::new(
+            Arc::clone(&heap),
+            Arc::new(Htm::new(HtmConfig::for_tests())),
+        );
         for k in 0..100 {
             t.insert(k, k);
         }

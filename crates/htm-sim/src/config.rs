@@ -27,6 +27,27 @@ pub struct HtmConfig {
     /// Retries inside [`Htm::run`](crate::Htm::run) before taking the
     /// global fallback lock.
     pub max_retries: u32,
+    /// Seed of the *deterministic* abort injector (0 disables it). When
+    /// non-zero, begin-time abort injection draws from a seeded SplitMix64
+    /// stream owned by the `Htm` instance instead of per-thread xorshift
+    /// state, so the same seed replays the same abort schedule — the
+    /// foundation of the fault-injection harness. The deterministic
+    /// injector uses [`HtmConfig::spurious_abort_prob`] plus the two
+    /// probabilities below.
+    pub abort_inject_seed: u64,
+    /// Probability (per begin, deterministic injector only) of an
+    /// injected [`AbortCause::Conflict`](crate::AbortCause) abort.
+    pub conflict_abort_prob: f64,
+    /// Probability (per begin, deterministic injector only) of an
+    /// injected [`AbortCause::Capacity`](crate::AbortCause) abort.
+    /// Capacity aborts are never retried more than once by
+    /// [`Htm::run`](crate::Htm::run), so this steers work onto the
+    /// fallback path quickly.
+    pub capacity_abort_prob: f64,
+    /// Base busy-wait spins between retries, doubled after each abort
+    /// (exponential backoff, capped at 10 doublings). 0 = retry
+    /// immediately, the behaviour before backoff existed.
+    pub backoff_spins: u32,
 }
 
 impl Default for HtmConfig {
@@ -37,6 +58,10 @@ impl Default for HtmConfig {
             spurious_abort_prob: 0.0,
             memtype_abort_prob: 0.0,
             max_retries: 16,
+            abort_inject_seed: 0,
+            conflict_abort_prob: 0.0,
+            capacity_abort_prob: 0.0,
+            backoff_spins: 0,
         }
     }
 }
@@ -58,6 +83,36 @@ impl HtmConfig {
     /// Sets the spurious-abort probability.
     pub fn with_spurious(mut self, prob: f64) -> Self {
         self.spurious_abort_prob = prob;
+        self
+    }
+
+    /// Enables the deterministic abort injector: `seed` fixes the
+    /// schedule, and the three probabilities select the abort mix
+    /// (spurious / conflict / capacity, each per transaction begin).
+    pub fn with_abort_injection(
+        mut self,
+        seed: u64,
+        spurious: f64,
+        conflict: f64,
+        capacity: f64,
+    ) -> Self {
+        assert!(seed != 0, "seed 0 disables the deterministic injector");
+        self.abort_inject_seed = seed;
+        self.spurious_abort_prob = spurious;
+        self.conflict_abort_prob = conflict;
+        self.capacity_abort_prob = capacity;
+        self
+    }
+
+    /// Sets the retry budget of [`Htm::run`](crate::Htm::run).
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the base exponential-backoff spin count between retries.
+    pub fn with_backoff(mut self, spins: u32) -> Self {
+        self.backoff_spins = spins;
         self
     }
 }

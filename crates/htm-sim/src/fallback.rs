@@ -6,7 +6,7 @@
 //! of the coherence invalidation a TSX lock acquisition broadcasts.
 
 use crate::htm::Htm;
-use crossbeam::utils::CachePadded;
+use crate::sync::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A global elision lock for one HTM-protected data structure.

@@ -50,9 +50,7 @@ pub fn versioned_store_slice(cells: &[AtomicU64], val: u64) {
         let idx = table.index_of(&cells[i] as *const AtomicU64 as usize);
         // Extend the run while subsequent words map to the same stripe.
         let mut j = i + 1;
-        while j < cells.len()
-            && table.index_of(&cells[j] as *const AtomicU64 as usize) == idx
-        {
+        while j < cells.len() && table.index_of(&cells[j] as *const AtomicU64 as usize) == idx {
             j += 1;
         }
         let mut spins = 0u32;
@@ -107,6 +105,11 @@ pub struct Htm {
     stats: HtmStats,
     spurious_threshold: u64,
     memtype_threshold: u64,
+    /// SplitMix64 state of the deterministic abort injector (advanced
+    /// with a CAS so concurrent begins each consume exactly one draw of
+    /// one shared, seed-determined stream). Unused when
+    /// `config.abort_inject_seed == 0`.
+    inject_state: AtomicU64,
 }
 
 /// Error returned by [`Htm::run`]: the operation aborted explicitly with a
@@ -169,8 +172,44 @@ impl Htm {
             stats: HtmStats::new(),
             spurious_threshold: prob_to_threshold(config.spurious_abort_prob),
             memtype_threshold: prob_to_threshold(config.memtype_abort_prob),
+            inject_state: AtomicU64::new(config.abort_inject_seed),
             config,
         }
+    }
+
+    /// One draw of the deterministic injector stream: picks the abort to
+    /// inject at this begin, if any. The SplitMix64 state advances by CAS
+    /// so every begin consumes exactly one position of the seeded stream.
+    fn injected_abort(&self) -> Option<AbortCause> {
+        let mut state = self.inject_state.load(Ordering::Relaxed);
+        let draw = loop {
+            let mut next = state;
+            let out = crate::rng::splitmix64(&mut next);
+            match self.inject_state.compare_exchange_weak(
+                state,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break out,
+                Err(cur) => state = cur,
+            }
+        };
+        let u = (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let c = &self.config;
+        let mut acc = c.spurious_abort_prob;
+        if u < acc {
+            return Some(AbortCause::Spurious);
+        }
+        acc += c.conflict_abort_prob;
+        if u < acc {
+            return Some(AbortCause::Conflict);
+        }
+        acc += c.capacity_abort_prob;
+        if u < acc {
+            return Some(AbortCause::Capacity);
+        }
+        None
     }
 
     pub fn config(&self) -> &HtmConfig {
@@ -248,8 +287,16 @@ impl Htm {
         crate::enter_txn();
         let _g = Guard(SUBSCRIBED.with(|s| s.get()));
 
-        // Begin-time abort injection (transient events, MEMTYPE anomaly).
-        if self.spurious_threshold != 0 && next_rand() < self.spurious_threshold {
+        // Begin-time abort injection. With a seeded injector configured,
+        // spurious/conflict/capacity events come from its deterministic
+        // stream; otherwise spurious events use per-thread xorshift state
+        // (the legacy probabilistic mode).
+        if self.config.abort_inject_seed != 0 {
+            if let Some(cause) = self.injected_abort() {
+                self.stats.record_abort(cause);
+                return Err(cause);
+            }
+        } else if self.spurious_threshold != 0 && next_rand() < self.spurious_threshold {
             self.stats.record_abort(AbortCause::Spurious);
             return Err(AbortCause::Spurious);
         }
@@ -336,8 +383,12 @@ impl Htm {
                         AbortCause::Capacity => {
                             capacity_aborts += 1;
                             retries += 1;
+                            self.backoff(retries);
                         }
-                        _ => retries += 1,
+                        _ => {
+                            retries += 1;
+                            self.backoff(retries);
+                        }
                     }
                 }
             }
@@ -353,6 +404,21 @@ impl Htm {
         match result {
             Ok(v) => Ok(v),
             Err(_) => Err(RunError(code.unwrap_or(0))),
+        }
+    }
+
+    /// Exponential backoff between retries: `backoff_spins << retries`
+    /// busy spins (doubling capped at 10). Contention-reduction for
+    /// conflict-heavy workloads; a no-op at the default `backoff_spins=0`.
+    #[inline]
+    fn backoff(&self, retries: u32) {
+        let base = self.config.backoff_spins;
+        if base == 0 {
+            return;
+        }
+        let spins = (base as u64) << retries.min(10);
+        for _ in 0..spins {
+            std::hint::spin_loop();
         }
     }
 }
@@ -478,12 +544,12 @@ mod tests {
         let data = Arc::new(cells(2));
         let threads = 4;
         let iters = 2000;
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..threads {
                 let htm = Arc::clone(&htm);
                 let lock = Arc::clone(&lock);
                 let data = Arc::clone(&data);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..iters {
                         htm.run(&lock, |m| {
                             let a = m.load(&data[0])?;
@@ -497,9 +563,70 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(data[0].load(Ordering::Relaxed), threads * iters);
         assert_eq!(data[1].load(Ordering::Relaxed), threads * iters);
+    }
+
+    use crate::StatsSnapshot;
+
+    /// Runs a fixed single-threaded workload under the deterministic
+    /// injector and returns the abort breakdown.
+    fn injected_run(seed: u64) -> StatsSnapshot {
+        let htm = Htm::new(HtmConfig::for_tests().with_abort_injection(seed, 0.2, 0.2, 0.05));
+        let lock = FallbackLock::new();
+        let c = cells(1);
+        for _ in 0..300 {
+            htm.run(&lock, |m| {
+                let v = m.load(&c[0])?;
+                m.store(&c[0], v + 1)?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(c[0].load(Ordering::Relaxed), 300, "every op must complete");
+        htm.stats().snapshot()
+    }
+
+    #[test]
+    fn deterministic_injection_replays_identically() {
+        let a = injected_run(0xFA11_5EED);
+        let b = injected_run(0xFA11_5EED);
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.fallbacks, b.fallbacks);
+        assert_eq!(a.aborts, b.aborts, "same seed must give the same schedule");
+        assert!(a.aborts_of(AbortCause::Spurious) > 0);
+        assert!(a.aborts_of(AbortCause::Conflict) > 0);
+        assert!(a.aborts_of(AbortCause::Capacity) > 0);
+
+        let c = injected_run(0xFA11_5EEE);
+        assert_ne!(a.aborts, c.aborts, "different seeds should diverge");
+    }
+
+    #[test]
+    fn forced_aborts_complete_via_fallback() {
+        // Every begin aborts, so every operation must take the lock path.
+        let htm = Htm::new(
+            HtmConfig::for_tests()
+                .with_abort_injection(7, 1.0, 0.0, 0.0)
+                .with_max_retries(3)
+                .with_backoff(4),
+        );
+        let lock = FallbackLock::new();
+        let c = cells(2);
+        for _ in 0..50 {
+            htm.run(&lock, |m| {
+                let v = m.load(&c[0])?;
+                m.store(&c[0], v + 1)?;
+                m.store(&c[1], v + 1)?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        assert_eq!(c[0].load(Ordering::Relaxed), 50);
+        assert_eq!(c[1].load(Ordering::Relaxed), 50);
+        let s = htm.stats().snapshot();
+        assert_eq!(s.fallbacks, 50, "all ops must use the fallback path");
+        assert_eq!(s.commits, 0);
     }
 }

@@ -54,10 +54,13 @@
 
 mod access;
 mod config;
+pub mod ebr;
 mod fallback;
 mod htm;
+pub mod rng;
 mod stats;
 mod stripe;
+pub mod sync;
 mod tid;
 mod txn;
 
@@ -65,6 +68,7 @@ pub use access::{LockedAccess, MemAccess};
 pub use config::HtmConfig;
 pub use fallback::FallbackLock;
 pub use htm::{suppress_memtype_once, versioned_store, versioned_store_slice, Htm, RunError};
+pub use rng::SplitMix64;
 pub use stats::{HtmStats, StatsSnapshot};
 pub use tid::{max_threads, thread_id};
 pub use txn::{Abort, AbortCause, TxResult, Txn};

@@ -1,9 +1,9 @@
 //! Sharded commit/abort statistics — the data source for Fig. 2 of the
 //! paper (HTM commit and abort-cause breakdown).
 
+use crate::sync::CachePadded;
 use crate::tid::{thread_id, MAX_THREADS};
 use crate::txn::AbortCause;
-use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 const N_CAUSES: usize = AbortCause::COUNT;

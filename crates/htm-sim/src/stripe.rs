@@ -79,7 +79,12 @@ impl StripeTable {
             return false;
         }
         self.stripes[idx]
-            .compare_exchange(seen.0, seen.locked_word(), Ordering::AcqRel, Ordering::Relaxed)
+            .compare_exchange(
+                seen.0,
+                seen.locked_word(),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
             .is_ok()
     }
 
@@ -99,7 +104,6 @@ impl StripeTable {
         debug_assert!(!seen.locked());
         self.stripes[idx].store(seen.0, Ordering::Release);
     }
-
 }
 
 #[cfg(test)]

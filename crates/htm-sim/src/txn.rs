@@ -209,15 +209,16 @@ impl<'env> Txn<'env> {
 
         // Phase 1: try-lock every write stripe (busy stripe => conflict).
         let mut locked = 0usize;
-        for (idx, seen) in stripes.iter_mut() {
-            let w = table.load(*idx as usize);
-            if !table.try_lock(*idx as usize, w) {
+        while locked < stripes.len() {
+            let idx = stripes[locked].0 as usize;
+            let w = table.load(idx);
+            if !table.try_lock(idx, w) {
                 for (j, s) in stripes[..locked].iter() {
                     table.unlock_restore(*j as usize, *s);
                 }
                 return Err(AbortCause::Conflict);
             }
-            *seen = w;
+            stripes[locked].1 = w;
             locked += 1;
         }
 

@@ -1,8 +1,8 @@
 //! Descriptor-based MwCAS / PMwCAS (Wang et al., ICDE 2018) with helping
 //! and post-crash roll-forward / roll-back.
 
+use htm_sim::sync::Mutex;
 use nvm_sim::{NvmAddr, NvmHeap};
-use parking_lot::Mutex;
 use persist_alloc::{Header, PAlloc, HDR_WORDS};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -25,7 +25,10 @@ pub struct MwTarget {
 
 impl MwTarget {
     pub fn new(addr: NvmAddr, old: u64, new: u64) -> Self {
-        debug_assert!(old & MARK == 0 && new & MARK == 0, "values must leave bit 63 clear");
+        debug_assert!(
+            old & MARK == 0 && new & MARK == 0,
+            "values must leave bit 63 clear"
+        );
         Self { addr, old, new }
     }
 }
@@ -113,7 +116,9 @@ impl MwCasPool {
         Self {
             heap,
             alloc,
-            descs: (0..htm_sim::max_threads()).map(|_| Mutex::new(None)).collect(),
+            descs: (0..htm_sim::max_threads())
+                .map(|_| Mutex::new(None))
+                .collect(),
         }
     }
 
@@ -130,7 +135,9 @@ impl MwCasPool {
         let blk = self.alloc.alloc_for_payload(DESC_PAYLOAD_WORDS);
         Header::set_tag(&self.heap, blk, MWCAS_DESC_TAG);
         Header::set_epoch(&self.heap, blk, 0); // descriptors are infrastructure
-        self.heap.word(pw(blk, D_STATUS)).store(st_word(0, ST_FREE), Ordering::Release);
+        self.heap
+            .word(pw(blk, D_STATUS))
+            .store(st_word(0, ST_FREE), Ordering::Release);
         self.heap.persist_range(blk, HDR_WORDS + DESC_PAYLOAD_WORDS);
         self.heap.fence();
         *slot = Some(blk);
@@ -257,7 +264,11 @@ impl MwCasPool {
         // loses the race reads the winner's verdict. The expected value
         // carries `seq`, so a CAS against a recycled descriptor misses.
         let status_w = pw(desc, D_STATUS);
-        let _ = h.cas(status_w, st_word(seq, ST_PENDING), st_word(seq, status_goal));
+        let _ = h.cas(
+            status_w,
+            st_word(seq, ST_PENDING),
+            st_word(seq, status_goal),
+        );
         let status = h.word(status_w).load(Ordering::Acquire);
         if st_seq(status) != seq || st_code(status) == ST_FREE {
             return false; // recycled under us
@@ -408,11 +419,11 @@ mod tests {
         }
         let threads = 4;
         let iters = 3000;
-        crossbeam::thread::scope(|sc| {
+        std::thread::scope(|sc| {
             for t in 0..threads {
                 let pool = Arc::clone(&pool);
                 let accounts = accounts.clone();
-                sc.spawn(move |_| {
+                sc.spawn(move || {
                     let mut rng = 0x1234_5678u64 + t as u64;
                     let mut next = || {
                         rng ^= rng >> 12;
@@ -439,8 +450,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let total: u64 = accounts.iter().map(|&a| pool.read(a)).sum();
         assert_eq!(total, 16 * 1000, "transfers lost or duplicated money");
     }
@@ -453,12 +463,12 @@ mod tests {
         let pool = Arc::new(pool);
         let s = slots(&heap, 8);
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        crossbeam::thread::scope(|sc| {
+        std::thread::scope(|sc| {
             for t in 0..2 {
                 let pool = Arc::clone(&pool);
                 let s = s.clone();
                 let stop = Arc::clone(&stop);
-                sc.spawn(move |_| {
+                sc.spawn(move || {
                     let mut v = 1u64 + t;
                     while !stop.load(Ordering::Relaxed) {
                         let cur: Vec<u64> = s.iter().map(|&a| pool.read(a)).collect();
@@ -475,7 +485,7 @@ mod tests {
             let pool2 = Arc::clone(&pool);
             let s2 = s.clone();
             let stop2 = Arc::clone(&stop);
-            sc.spawn(move |_| {
+            sc.spawn(move || {
                 for _ in 0..20_000 {
                     for &a in &s2 {
                         let v = pool2.read(a);
@@ -484,8 +494,7 @@ mod tests {
                 }
                 stop2.store(true, Ordering::Relaxed);
             });
-        })
-        .unwrap();
+        });
     }
 
     #[test]
@@ -505,10 +514,7 @@ mod tests {
         heap.write(pw(desc, D_SEQ), seq);
         heap.write(pw(desc, D_STATUS), st_word(seq, ST_PENDING));
         heap.write(pw(desc, D_COUNT), 2);
-        for (i, (&a, old, new)) in [(&s[0], 1u64, 10u64), (&s[1], 2, 20)]
-            .iter()
-            .enumerate()
-        {
+        for (i, (&a, old, new)) in [(&s[0], 1u64, 10u64), (&s[1], 2, 20)].iter().enumerate() {
             heap.write(pw(desc, D_TRIPLES + 3 * i as u64), a.0);
             heap.write(pw(desc, D_TRIPLES + 3 * i as u64 + 1), *old);
             heap.write(pw(desc, D_TRIPLES + 3 * i as u64 + 2), *new);
@@ -542,10 +548,7 @@ mod tests {
         heap.write(pw(desc, D_SEQ), seq);
         heap.write(pw(desc, D_STATUS), st_word(seq, ST_COMMITTED));
         heap.write(pw(desc, D_COUNT), 2);
-        for (i, (&a, old, new)) in [(&s[0], 1u64, 10u64), (&s[1], 2, 20)]
-            .iter()
-            .enumerate()
-        {
+        for (i, (&a, old, new)) in [(&s[0], 1u64, 10u64), (&s[1], 2, 20)].iter().enumerate() {
             heap.write(pw(desc, D_TRIPLES + 3 * i as u64), a.0);
             heap.write(pw(desc, D_TRIPLES + 3 * i as u64 + 1), *old);
             heap.write(pw(desc, D_TRIPLES + 3 * i as u64 + 2), *new);

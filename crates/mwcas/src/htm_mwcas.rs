@@ -95,11 +95,11 @@ mod tests {
         for &a in &accounts {
             heap.write(a, 100);
         }
-        crossbeam::thread::scope(|sc| {
+        std::thread::scope(|sc| {
             for t in 0..4u64 {
                 let m = Arc::clone(&m);
                 let accounts = accounts.clone();
-                sc.spawn(move |_| {
+                sc.spawn(move || {
                     let mut rng = t + 1;
                     for _ in 0..2000 {
                         rng ^= rng >> 12;
@@ -121,8 +121,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let total: u64 = accounts.iter().map(|&a| m.heap.read(a)).sum();
         assert_eq!(total, 800);
     }

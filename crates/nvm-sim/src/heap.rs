@@ -2,10 +2,14 @@
 //! eviction, crash and recovery.
 
 use crate::config::NvmConfig;
+use crate::fault::{CrashPointKind, FaultPlan};
 use crate::latency::spin_ns;
 use crate::stats::NvmStats;
+use htm_sim::rng::SplitMix64;
+use htm_sim::sync::Mutex;
 use htm_sim::AbortCause;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 
 /// Words (8 B) per cache line (64 B).
 pub const WORDS_PER_LINE: u64 = 8;
@@ -92,6 +96,11 @@ pub struct NvmHeap {
     dirty: Box<[AtomicU8]>,
     config: NvmConfig,
     stats: NvmStats,
+    /// Fast-path gate for fault injection: checked with a relaxed load on
+    /// every persist-relevant operation, so unfaulted runs pay one branch.
+    fault_armed: AtomicBool,
+    /// The armed crash schedule, if any (see [`crate::fault`]).
+    fault: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl NvmHeap {
@@ -106,6 +115,8 @@ impl NvmHeap {
             dirty: (0..lines).map(|_| AtomicU8::new(0)).collect(),
             config,
             stats: NvmStats::new(),
+            fault_armed: AtomicBool::new(false),
+            fault: Mutex::new(None),
         }
     }
 
@@ -120,6 +131,34 @@ impl NvmHeap {
             dirty: (0..lines).map(|_| AtomicU8::new(0)).collect(),
             config: image.config,
             stats: NvmStats::new(),
+            fault_armed: AtomicBool::new(false),
+            fault: Mutex::new(None),
+        }
+    }
+
+    /// Arms a crash schedule: every subsequent persist-relevant operation
+    /// reports to `plan` (and may crash the machine). See [`crate::fault`].
+    pub fn arm_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.fault.lock() = Some(plan);
+        self.fault_armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarms and returns the current plan, if any.
+    pub fn disarm_fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_armed.store(false, Ordering::SeqCst);
+        self.fault.lock().take()
+    }
+
+    /// Reports a numbered crash point to the armed plan. Diverges (by
+    /// unwinding) if the plan decides to crash here.
+    #[inline]
+    fn fault_point(&self, kind: CrashPointKind) {
+        if !self.fault_armed.load(Ordering::Relaxed) {
+            return;
+        }
+        let plan = self.fault.lock().clone();
+        if let Some(plan) = plan {
+            plan.observe(self, kind);
         }
     }
 
@@ -247,6 +286,7 @@ impl NvmHeap {
     #[inline]
     pub fn clwb(&self, addr: NvmAddr) -> bool {
         if self.config.eadr {
+            self.fault_point(CrashPointKind::Clwb);
             self.stats.record_writeback(addr.xpline());
             return true;
         }
@@ -254,6 +294,9 @@ impl NvmHeap {
             htm_sim::poison_current_txn(AbortCause::PersistInTxn);
             return false;
         }
+        // Crash point *before* the write-back: crashing at point i means
+        // persist operation i never reached the media.
+        self.fault_point(CrashPointKind::Clwb);
         self.writeback_line(addr.line());
         self.stats.record_writeback(addr.xpline());
         spin_ns(self.config.writeback_ns);
@@ -288,6 +331,7 @@ impl NvmHeap {
         let first = addr.line();
         let last = NvmAddr(addr.0 + words - 1).line();
         for line in first..=last {
+            self.fault_point(CrashPointKind::FormatLine);
             self.writeback_line(line);
         }
     }
@@ -296,6 +340,7 @@ impl NvmHeap {
     /// abort TSX transactions (only the flushes themselves do).
     #[inline]
     pub fn fence(&self) {
+        self.fault_point(CrashPointKind::Fence);
         self.stats.record_fence();
         spin_ns(self.config.fence_ns);
     }
@@ -344,6 +389,7 @@ impl NvmHeap {
                 .compare_exchange(1, 0, Ordering::AcqRel, Ordering::Relaxed)
                 .is_ok()
             {
+                self.fault_point(CrashPointKind::EvictLine);
                 let w = (line * WORDS_PER_LINE) as usize;
                 for i in w..w + WORDS_PER_LINE as usize {
                     let v = self.volatile[i].load(Ordering::Acquire);
@@ -355,6 +401,33 @@ impl NvmHeap {
         }
         self.stats.record_eviction(evicted as u64);
         evicted
+    }
+
+    /// Drains a seeded subset of the *dirty words* to media: some lines
+    /// never leave the write-pending queue, others drain partially (torn
+    /// multi-word writes — ADR promises only 8-byte atomicity). Used by
+    /// [`FaultPlan::with_torn_writes`] immediately before the crash image
+    /// is captured; dirty flags are left untouched because the heap is
+    /// dead the instant this runs.
+    pub fn torn_writeback(&self, seed: u64) {
+        let mut rng = SplitMix64::new(seed);
+        for line in 0..self.dirty.len() {
+            if self.dirty[line].load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let r = rng.next_u64();
+            if r & 1 == 0 {
+                continue; // whole line lost
+            }
+            let word_mask = (r >> 1) & 0xFF;
+            let w = line * WORDS_PER_LINE as usize;
+            for i in 0..WORDS_PER_LINE as usize {
+                if word_mask & (1 << i) != 0 {
+                    let v = self.volatile[w + i].load(Ordering::Acquire);
+                    self.media[w + i].store(v, Ordering::Release);
+                }
+            }
+        }
     }
 
     /// Full-system crash: returns what survived. Under ADR that is the

@@ -31,11 +31,13 @@
 //! XPLine (256 B) granularity so write amplification (§5.1) is measurable.
 
 mod config;
+pub mod fault;
 mod heap;
 mod latency;
 mod stats;
 
 pub use config::{EvictionPolicy, NvmConfig};
+pub use fault::{CrashPointKind, CrashTriggered, FaultPlan};
 pub use heap::{CrashImage, NvmAddr, NvmHeap, WORDS_PER_LINE, WORDS_PER_XPLINE};
 pub use latency::spin_ns;
 pub use stats::{NvmStats, NvmStatsSnapshot};

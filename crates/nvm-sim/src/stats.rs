@@ -1,7 +1,7 @@
 //! Sharded NVM traffic counters: the data behind the paper's write-
 //! amplification and bandwidth discussion (§5.1) and the space figures.
 
-use crossbeam::utils::CachePadded;
+use htm_sim::sync::CachePadded;
 use htm_sim::{max_threads, thread_id};
 use std::sync::atomic::{AtomicU64, Ordering};
 

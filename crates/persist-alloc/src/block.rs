@@ -80,14 +80,20 @@ pub fn class_for_payload(payload_words: u64) -> Option<usize> {
 /// retiring epoch's buffer is persisted.
 pub fn mark_deleted(heap: &NvmHeap, blk: NvmAddr, class: usize, del_epoch: u64) {
     heap.write_coherent(blk.offset(HDR_DEL_EPOCH), del_epoch);
-    heap.write_coherent(blk.offset(HDR_STATE), pack_state(BlockState::Deleted, class));
+    heap.write_coherent(
+        blk.offset(HDR_STATE),
+        pack_state(BlockState::Deleted, class),
+    );
 }
 
 /// Re-marks a `DELETED` block `ALLOCATED` (recovery resurrection of
 /// deletions that never became durable).
 pub fn mark_allocated(heap: &NvmHeap, blk: NvmAddr, class: usize) {
     heap.write_coherent(blk.offset(HDR_DEL_EPOCH), INVALID_EPOCH);
-    heap.write_coherent(blk.offset(HDR_STATE), pack_state(BlockState::Allocated, class));
+    heap.write_coherent(
+        blk.offset(HDR_STATE),
+        pack_state(BlockState::Allocated, class),
+    );
 }
 
 /// Convenience non-transactional header accessors (used off the critical
@@ -101,7 +107,10 @@ pub struct Header;
 
 impl Header {
     pub fn state(heap: &NvmHeap, blk: NvmAddr) -> Option<(BlockState, usize)> {
-        unpack_state(heap.word(blk.offset(HDR_STATE)).load(std::sync::atomic::Ordering::Acquire))
+        unpack_state(
+            heap.word(blk.offset(HDR_STATE))
+                .load(std::sync::atomic::Ordering::Acquire),
+        )
     }
 
     pub fn set_state(heap: &NvmHeap, blk: NvmAddr, state: BlockState, class: usize) {
@@ -109,7 +118,8 @@ impl Header {
     }
 
     pub fn epoch(heap: &NvmHeap, blk: NvmAddr) -> u64 {
-        heap.word(blk.offset(HDR_EPOCH)).load(std::sync::atomic::Ordering::Acquire)
+        heap.word(blk.offset(HDR_EPOCH))
+            .load(std::sync::atomic::Ordering::Acquire)
     }
 
     pub fn set_epoch(heap: &NvmHeap, blk: NvmAddr, e: u64) {
@@ -117,7 +127,8 @@ impl Header {
     }
 
     pub fn del_epoch(heap: &NvmHeap, blk: NvmAddr) -> u64 {
-        heap.word(blk.offset(HDR_DEL_EPOCH)).load(std::sync::atomic::Ordering::Acquire)
+        heap.word(blk.offset(HDR_DEL_EPOCH))
+            .load(std::sync::atomic::Ordering::Acquire)
     }
 
     pub fn set_del_epoch(heap: &NvmHeap, blk: NvmAddr, e: u64) {
@@ -125,7 +136,8 @@ impl Header {
     }
 
     pub fn tag(heap: &NvmHeap, blk: NvmAddr) -> u64 {
-        heap.word(blk.offset(HDR_TAG)).load(std::sync::atomic::Ordering::Acquire)
+        heap.word(blk.offset(HDR_TAG))
+            .load(std::sync::atomic::Ordering::Acquire)
     }
 
     pub fn set_tag(heap: &NvmHeap, blk: NvmAddr, tag: u64) {

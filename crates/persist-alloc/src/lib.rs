@@ -34,8 +34,8 @@ mod palloc;
 mod recovery;
 
 pub use block::{
-    class_for_payload, mark_allocated, mark_deleted, Header, BlockState, CLASS_WORDS, HDR_DEL_EPOCH,
-    HDR_EPOCH, HDR_STATE, HDR_TAG, HDR_WORDS, INVALID_EPOCH, NUM_CLASSES,
+    class_for_payload, mark_allocated, mark_deleted, BlockState, Header, CLASS_WORDS,
+    HDR_DEL_EPOCH, HDR_EPOCH, HDR_STATE, HDR_TAG, HDR_WORDS, INVALID_EPOCH, NUM_CLASSES,
 };
 pub use palloc::{AllocStats, PAlloc};
 pub use recovery::RecoveredBlock;

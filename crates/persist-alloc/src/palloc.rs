@@ -1,9 +1,11 @@
 //! The allocator proper: extent carving, shared free lists, thread caches.
 
-use crate::block::{pack_state, BlockState, Header, CLASS_WORDS, HDR_EPOCH, INVALID_EPOCH, NUM_CLASSES};
+use crate::block::{
+    pack_state, BlockState, Header, CLASS_WORDS, HDR_EPOCH, INVALID_EPOCH, NUM_CLASSES,
+};
+use htm_sim::sync::Mutex;
 use htm_sim::{max_threads, thread_id};
 use nvm_sim::{NvmAddr, NvmHeap};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
@@ -137,12 +139,16 @@ impl PAlloc {
         // (Re)initialize the header and zero the payload with *versioned*
         // stores: a stale transactional reader still holding a pointer to
         // this recycled block must observe the reuse and abort.
+        self.heap.write_coherent(
+            blk.offset(crate::block::HDR_STATE),
+            pack_state(BlockState::Allocated, class),
+        );
         self.heap
-            .write_coherent(blk.offset(crate::block::HDR_STATE), pack_state(BlockState::Allocated, class));
-        self.heap.write_coherent(blk.offset(HDR_EPOCH), INVALID_EPOCH);
+            .write_coherent(blk.offset(HDR_EPOCH), INVALID_EPOCH);
         self.heap
             .write_coherent(blk.offset(crate::block::HDR_DEL_EPOCH), INVALID_EPOCH);
-        self.heap.write_coherent(blk.offset(crate::block::HDR_TAG), 0);
+        self.heap
+            .write_coherent(blk.offset(crate::block::HDR_TAG), 0);
         self.heap.write_coherent_range(
             blk.offset(crate::block::HDR_WORDS),
             CLASS_WORDS[class] - crate::block::HDR_WORDS,
@@ -167,14 +173,15 @@ impl PAlloc {
     /// recovery never resurrects it. Aborts an enclosing transaction
     /// (like `alloc`); the epoch system only frees outside transactions.
     pub fn free(&self, blk: NvmAddr) {
-        let (state, class) =
-            Header::state(&self.heap, blk).expect("free of a non-block address");
+        let (state, class) = Header::state(&self.heap, blk).expect("free of a non-block address");
         assert!(
             state != BlockState::Free,
             "double free of NVM block {blk:?}"
         );
-        self.heap
-            .write_coherent(blk.offset(crate::block::HDR_STATE), pack_state(BlockState::Free, class));
+        self.heap.write_coherent(
+            blk.offset(crate::block::HDR_STATE),
+            pack_state(BlockState::Free, class),
+        );
         self.heap.clwb(blk);
         self.heap.fence();
         self.classes[class].live.fetch_sub(1, Ordering::Relaxed);
@@ -190,7 +197,7 @@ impl PAlloc {
     }
 
     /// The epoch word of a block, as a raw atomic for transactional access.
-    pub fn epoch_word<'h>(heap: &'h NvmHeap, blk: NvmAddr) -> &'h std::sync::atomic::AtomicU64 {
+    pub fn epoch_word(heap: &NvmHeap, blk: NvmAddr) -> &std::sync::atomic::AtomicU64 {
         heap.word(blk.offset(HDR_EPOCH))
     }
 
@@ -237,14 +244,20 @@ impl PAlloc {
         // Find the first unused table entry.
         let mut idx = None;
         for i in 0..self.n_extents {
-            if self.heap.word(NvmAddr(self.table_base + i)).load(Ordering::Acquire) == 0 {
+            if self
+                .heap
+                .word(NvmAddr(self.table_base + i))
+                .load(Ordering::Acquire)
+                == 0
+            {
                 idx = Some(i);
                 break;
             }
         }
         let i = idx.unwrap_or_else(|| panic!("NVM heap exhausted ({} extents)", self.n_extents));
         // Persist the extent registration before handing out blocks.
-        self.heap.write(NvmAddr(self.table_base + i), class as u64 + 1);
+        self.heap
+            .write(NvmAddr(self.table_base + i), class as u64 + 1);
         self.heap.clwb(NvmAddr(self.table_base + i));
         self.heap.fence();
         // Format the extent: every block gets a FREE header so recovery
@@ -340,19 +353,17 @@ mod tests {
         let a = Arc::new(setup());
         let per_thread = 500;
         let mut all = Vec::new();
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let mut handles = Vec::new();
             for _ in 0..4 {
                 let a = Arc::clone(&a);
-                handles.push(s.spawn(move |_| {
-                    (0..per_thread).map(|_| a.alloc(0)).collect::<Vec<_>>()
-                }));
+                handles
+                    .push(s.spawn(move || (0..per_thread).map(|_| a.alloc(0)).collect::<Vec<_>>()));
             }
             for h in handles {
                 all.extend(h.join().unwrap());
             }
-        })
-        .unwrap();
+        });
         let mut set = std::collections::HashSet::new();
         for b in &all {
             assert!(set.insert(b.0), "duplicate allocation {b:?}");

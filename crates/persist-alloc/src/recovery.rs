@@ -53,7 +53,16 @@ impl PAlloc {
                 continue;
             }
             let class = (e - 1) as usize;
-            assert!(class < NUM_CLASSES, "corrupt extent table entry");
+            if class >= NUM_CLASSES {
+                // A corrupt entry can only come from a crash mid-way
+                // through extent registration (the entry word is written
+                // before any block is handed out, so nothing durable can
+                // live here). Treat it as unregistered rather than
+                // aborting recovery — recovery must succeed on any image
+                // a crash can produce, including images taken during a
+                // previous recovery.
+                continue;
+            }
             extents.push((i, class));
         }
 
@@ -65,9 +74,7 @@ impl PAlloc {
             let mut found = Vec::new();
             for b in 0..EXTENT_WORDS / bw {
                 let blk = NvmAddr(base + b * bw);
-                let word = heap
-                    .word(blk)
-                    .load(std::sync::atomic::Ordering::Acquire);
+                let word = heap.word(blk).load(std::sync::atomic::Ordering::Acquire);
                 match unpack_state(word) {
                     Some((BlockState::Free, c)) if c == class => free.push(blk),
                     Some((state, c)) if c == class => found.push(RecoveredBlock {
@@ -96,17 +103,16 @@ impl PAlloc {
             }
         } else {
             let chunk = extents.len().div_ceil(threads);
-            let results = crossbeam::thread::scope(|s| {
+            let results = std::thread::scope(|s| {
                 let mut handles = Vec::new();
                 for part in extents.chunks(chunk) {
-                    handles.push(s.spawn(|_| part.iter().map(scan_extent).collect::<Vec<_>>()));
+                    handles.push(s.spawn(|| part.iter().map(scan_extent).collect::<Vec<_>>()));
                 }
                 handles
                     .into_iter()
                     .map(|h| h.join().unwrap())
                     .collect::<Vec<_>>()
-            })
-            .unwrap();
+            });
             for part in results {
                 for (class, free, found) in part {
                     per_class_free[class].extend(free);
@@ -156,7 +162,10 @@ mod tests {
         assert_eq!(rb1.epoch, 3);
         assert_eq!(heap2.read(b1.offset(HDR_WORDS)), 0xAB);
 
-        let rb2 = blocks.iter().find(|b| b.addr == b2).expect("b2 header lost");
+        let rb2 = blocks
+            .iter()
+            .find(|b| b.addr == b2)
+            .expect("b2 header lost");
         assert_eq!(rb2.epoch, INVALID_EPOCH, "unflushed epoch must not survive");
     }
 
@@ -169,7 +178,10 @@ mod tests {
 
         let heap2 = Arc::new(NvmHeap::from_image(heap.crash()));
         let (a2, blocks) = PAlloc::recover(heap2);
-        assert!(blocks.iter().all(|x| x.addr != b), "freed block resurrected");
+        assert!(
+            blocks.iter().all(|x| x.addr != b),
+            "freed block resurrected"
+        );
         // And allocation still works post-recovery.
         let c = a2.alloc(0);
         assert_eq!(

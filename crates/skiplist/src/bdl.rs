@@ -10,7 +10,7 @@
 
 use crate::{random_level, MAX_LEVEL};
 use bdhtm_core::{payload, EpochSys, LiveBlock, PreallocSlots, UpdateKind, OLD_SEE_NEW};
-use crossbeam::epoch as ebr;
+use htm_sim::ebr;
 use htm_sim::{thread_id, FallbackLock, Htm, MemAccess, RunError, TxResult};
 use nvm_sim::NvmAddr;
 use persist_alloc::Header;
@@ -112,7 +112,7 @@ impl BdlSkiplist {
     }
 
     #[inline]
-    unsafe fn tower<'e>(&'e self, ptr: u64) -> &'e Tower {
+    unsafe fn tower(&self, ptr: u64) -> &Tower {
         debug_assert!(ptr != 0 && ptr != TOMB);
         &*(ptr as *const Tower)
     }
@@ -150,7 +150,7 @@ impl BdlSkiplist {
 
     /// Validates inside the transaction that the searched window is
     /// unchanged (the HTM-MwCAS "expected old values").
-    fn validate<'e>(
+    fn validate_window<'e>(
         &'e self,
         m: &mut dyn MemAccess<'e>,
         preds: &[u64; MAX_LEVEL],
@@ -175,7 +175,8 @@ impl BdlSkiplist {
             let op_epoch = self.esys.begin_op();
             let blk = self.new_blk.take(&self.esys); // epoch reset to INVALID
             heap.word(payload(blk, P_KEY)).store(key, Ordering::Release);
-            heap.word(payload(blk, P_VAL)).store(value, Ordering::Release);
+            heap.word(payload(blk, P_VAL))
+                .store(value, Ordering::Release);
             Header::set_tag(heap, blk, SKIP_KV_TAG);
 
             'find: loop {
@@ -208,19 +209,19 @@ impl BdlSkiplist {
                         Some(t) if t.key == key => t,
                         _ => Tower::boxed(key, next_level(), blk.0),
                     };
-                    for i in 0..t.level {
-                        t.next[i].store(succs[i], Ordering::Relaxed);
+                    for (n, &s) in t.next.iter().zip(succs.iter()).take(t.level) {
+                        n.store(s, Ordering::Relaxed);
                     }
                     t.blk.store(blk.0, Ordering::Relaxed);
                     let levels = t.level;
                     let t_ptr = Box::into_raw(t) as u64;
                     let r = self.htm.run(&self.lock, |m| {
-                        if !self.validate(m, &preds, &succs, levels)? {
+                        if !self.validate_window(m, &preds, &succs, levels)? {
                             return Ok(WriteOutcome::Validate);
                         }
                         self.esys.set_epoch(m, blk, op_epoch)?;
-                        for i in 0..levels {
-                            let p = unsafe { self.tower(preds[i]) };
+                        for (i, &pp) in preds.iter().enumerate().take(levels) {
+                            let p = unsafe { self.tower(pp) };
                             m.store(&p.next[i], t_ptr)?;
                         }
                         Ok(WriteOutcome::Linked)
@@ -280,8 +281,8 @@ impl BdlSkiplist {
                 let levels = node.level;
                 let r = self.htm.run(&self.lock, |m| {
                     // All predecessors must still point at this tower.
-                    for i in 0..levels {
-                        let p = unsafe { self.tower(preds[i]) };
+                    for (i, &pp) in preds.iter().enumerate().take(levels) {
+                        let p = unsafe { self.tower(pp) };
                         if m.load(&p.next[i])? != node_ptr {
                             return Ok(WriteOutcome::Validate);
                         }
@@ -292,9 +293,9 @@ impl BdlSkiplist {
                         return Err(m.abort(OLD_SEE_NEW));
                     }
                     // Unlink every level and tombstone the tower.
-                    for i in 0..levels {
+                    for (i, &pp) in preds.iter().enumerate().take(levels) {
                         let nx = m.load(&node.next[i])?;
-                        let p = unsafe { self.tower(preds[i]) };
+                        let p = unsafe { self.tower(pp) };
                         m.store(&p.next[i], nx)?;
                         m.store(&node.next[i], TOMB)?;
                     }
@@ -443,17 +444,17 @@ impl BdlSkiplist {
                 let (preds, succs, found) = list.find(key);
                 assert!(found.is_none(), "duplicate key in recovered heap");
                 let t = Tower::boxed(key, next_level(), blk.0);
-                for i in 0..t.level {
-                    t.next[i].store(succs[i], Ordering::Relaxed);
+                for (n, &s) in t.next.iter().zip(succs.iter()).take(t.level) {
+                    n.store(s, Ordering::Relaxed);
                 }
                 let levels = t.level;
                 let t_ptr = Box::into_raw(t) as u64;
                 let r = list.htm.run(&list.lock, |m| {
-                    if !list.validate(m, &preds, &succs, levels)? {
+                    if !list.validate_window(m, &preds, &succs, levels)? {
                         return Ok(false);
                     }
-                    for i in 0..levels {
-                        let p = unsafe { list.tower(preds[i]) };
+                    for (i, &pp) in preds.iter().enumerate().take(levels) {
+                        let p = unsafe { list.tower(pp) };
                         m.store(&p.next[i], t_ptr)?;
                     }
                     Ok(true)
@@ -473,16 +474,15 @@ impl BdlSkiplist {
         } else {
             let chunk = mine.len().div_ceil(threads);
             let rebuild = &rebuild_one;
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for part in mine.chunks(chunk) {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         for &b in part {
                             rebuild(b);
                         }
                     });
                 }
-            })
-            .unwrap();
+            });
         }
         list
     }
@@ -490,6 +490,110 @@ impl BdlSkiplist {
     /// Reclaims per-thread preallocated blocks (clean shutdown).
     pub fn drain_preallocated(&self) {
         self.new_blk.drain(&self.esys);
+    }
+
+    /// Structural invariant check for the fault-injection harness. Call
+    /// while quiescent (e.g. right after recovery); verifies:
+    ///
+    /// * the level-0 list is strictly increasing with no reachable
+    ///   tombstones, and every tower's KV block is allocated, tagged
+    ///   [`SKIP_KV_TAG`], carries a valid epoch, and holds the tower's
+    ///   key;
+    /// * every level-`l` list is a subsequence of level 0 containing
+    ///   exactly towers taller than `l`, in the same order;
+    /// * no two towers share a KV block.
+    pub fn validate(&self) -> Result<(), String> {
+        use persist_alloc::BlockState;
+        use std::collections::HashMap;
+        let heap = self.esys.heap();
+        let clock = self.esys.current_epoch();
+        let head = self.head as u64;
+
+        let mut pos: HashMap<u64, usize> = HashMap::new();
+        let mut blocks: std::collections::HashSet<u64> = Default::default();
+        let mut prev_key: Option<u64> = None;
+        let mut cur = unsafe { self.tower(head) }.next[0].load(Ordering::Acquire);
+        while cur != 0 {
+            if cur == TOMB {
+                return Err("validate: tombstone reachable at level 0".into());
+            }
+            let t = unsafe { self.tower(cur) };
+            if prev_key.is_some_and(|p| t.key <= p) {
+                return Err(format!("validate: level-0 order violated at key {}", t.key));
+            }
+            if t.level == 0 || t.level > MAX_LEVEL {
+                return Err(format!("validate: tower {} has height {}", t.key, t.level));
+            }
+            let blk = NvmAddr(t.blk.load(Ordering::Acquire));
+            match Header::state(heap, blk) {
+                Some((BlockState::Allocated, _)) => {}
+                other => {
+                    return Err(format!(
+                        "key {}: block {blk:?} not allocated ({other:?})",
+                        t.key
+                    ))
+                }
+            }
+            let tag = Header::tag(heap, blk);
+            if tag != SKIP_KV_TAG {
+                return Err(format!(
+                    "key {}: block {blk:?} has foreign tag {tag:#x}",
+                    t.key
+                ));
+            }
+            let be = Header::epoch(heap, blk);
+            if be == persist_alloc::INVALID_EPOCH || be > clock {
+                return Err(format!(
+                    "key {}: block {blk:?} carries invalid epoch {be} (clock {clock})",
+                    t.key
+                ));
+            }
+            let k = heap.word(payload(blk, P_KEY)).load(Ordering::Acquire);
+            if k != t.key {
+                return Err(format!("tower {} points at block holding key {k}", t.key));
+            }
+            if !blocks.insert(blk.0) {
+                return Err(format!("block {blk:?} shared by two towers"));
+            }
+            let n = pos.len();
+            if pos.insert(cur, n).is_some() {
+                return Err("validate: level-0 list revisits a tower (cycle)".into());
+            }
+            prev_key = Some(t.key);
+            cur = t.next[0].load(Ordering::Acquire);
+        }
+
+        for lvl in 1..MAX_LEVEL {
+            let mut last: Option<usize> = None;
+            let mut cur = unsafe { self.tower(head) }.next[lvl].load(Ordering::Acquire);
+            while cur != 0 {
+                if cur == TOMB {
+                    return Err(format!("validate: tombstone reachable at level {lvl}"));
+                }
+                let t = unsafe { self.tower(cur) };
+                if t.level <= lvl {
+                    return Err(format!(
+                        "tower {} (height {}) linked at level {lvl}",
+                        t.key, t.level
+                    ));
+                }
+                let Some(&p) = pos.get(&cur) else {
+                    return Err(format!(
+                        "tower {} on level {lvl} is unreachable at level 0",
+                        t.key
+                    ));
+                };
+                if last.is_some_and(|lp| p <= lp) {
+                    return Err(format!(
+                        "level {lvl} is not a subsequence of level 0 at key {}",
+                        t.key
+                    ));
+                }
+                last = Some(p);
+                cur = t.next[lvl].load(Ordering::Acquire);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -548,7 +652,10 @@ mod tests {
             rng ^= rng >> 27;
             let key = 1 + rng % 512;
             match rng % 3 {
-                0 => assert_eq!(l.insert(key, key + i), oracle.insert(key, key + i).is_none()),
+                0 => assert_eq!(
+                    l.insert(key, key + i),
+                    oracle.insert(key, key + i).is_none()
+                ),
                 1 => assert_eq!(l.remove(key), oracle.remove(&key).is_some()),
                 _ => assert_eq!(l.get(key), oracle.get(&key).copied(), "get({key})"),
             }
@@ -559,10 +666,10 @@ mod tests {
     #[test]
     fn concurrent_mixed_ops() {
         let l = Arc::new(setup());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4u64 {
                 let l = Arc::clone(&l);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut rng = t * 131 + 7;
                     for _ in 0..3000 {
                         rng ^= rng >> 12;
@@ -586,14 +693,13 @@ mod tests {
                 });
             }
             let l2 = Arc::clone(&l);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for _ in 0..30 {
                     l2.epoch_sys().advance();
                     std::thread::sleep(std::time::Duration::from_millis(1));
                 }
             });
-        })
-        .unwrap();
+        });
     }
 
     #[test]
@@ -625,12 +731,7 @@ mod tests {
 
         let heap2 = Arc::new(NvmHeap::from_image(l.epoch_sys().heap().crash()));
         let (esys2, live) = EpochSys::recover(heap2, EpochConfig::manual(), 2);
-        let l2 = BdlSkiplist::recover(
-            esys2,
-            Arc::new(Htm::new(HtmConfig::for_tests())),
-            &live,
-            2,
-        );
+        let l2 = BdlSkiplist::recover(esys2, Arc::new(Htm::new(HtmConfig::for_tests())), &live, 2);
         for k in 1..=100u64 {
             assert_eq!(l2.get(k), Some(k * 2), "durable key {k} lost");
         }

@@ -9,11 +9,11 @@
 //! backward by [`DlSkiplist::recover`].
 
 use crate::{random_level, MAX_LEVEL};
-use crossbeam::epoch as ebr;
+use htm_sim::ebr;
+use htm_sim::sync::Mutex;
 use htm_sim::thread_id;
 use mwcas::{HtmMwCas, MwCasPool, MwTarget};
 use nvm_sim::{NvmAddr, NvmHeap};
-use parking_lot::Mutex;
 use persist_alloc::{Header, PAlloc, HDR_WORDS};
 use std::cell::Cell;
 use std::sync::atomic::Ordering;
@@ -67,6 +67,9 @@ fn next_level() -> usize {
     })
 }
 
+/// Per-thread spare node from a failed link attempt: `(level, addr)`.
+type SpareNode = Mutex<Option<(usize, NvmAddr)>>;
+
 /// A lock-free skiplist whose nodes live entirely in NVM.
 pub struct DlSkiplist {
     heap: Arc<NvmHeap>,
@@ -75,8 +78,7 @@ pub struct DlSkiplist {
     htm: HtmMwCas,
     mode: PersistMode,
     head: NvmAddr,
-    /// Per-thread spare node from a failed link attempt: `(level, addr)`.
-    spare: Box<[Mutex<Option<(usize, NvmAddr)>>]>,
+    spare: Box<[SpareNode]>,
 }
 
 impl DlSkiplist {
@@ -101,7 +103,9 @@ impl DlSkiplist {
             htm,
             mode,
             head,
-            spare: (0..htm_sim::max_threads()).map(|_| Mutex::new(None)).collect(),
+            spare: (0..htm_sim::max_threads())
+                .map(|_| Mutex::new(None))
+                .collect(),
         }
     }
 
@@ -135,7 +139,9 @@ impl DlSkiplist {
                 htm,
                 mode: PersistMode::Strict,
                 head,
-                spare: (0..htm_sim::max_threads()).map(|_| Mutex::new(None)).collect(),
+                spare: (0..htm_sim::max_threads())
+                    .map(|_| Mutex::new(None))
+                    .collect(),
             },
             rolled,
         )
@@ -166,7 +172,9 @@ impl DlSkiplist {
 
     #[inline]
     fn level_of(&self, node: NvmAddr) -> usize {
-        self.heap.word(self.pw(node, P_LEVEL)).load(Ordering::Acquire) as usize
+        self.heap
+            .word(self.pw(node, P_LEVEL))
+            .load(Ordering::Acquire) as usize
     }
 
     /// Resolved read of `node.next[lvl]` (helps in-flight descriptor
@@ -267,13 +275,7 @@ impl DlSkiplist {
             }
 
             let targets: Vec<MwTarget> = (0..level)
-                .map(|i| {
-                    MwTarget::new(
-                        self.pw(preds[i], P_NEXT + i as u64),
-                        succs[i],
-                        node.0,
-                    )
-                })
+                .map(|i| MwTarget::new(self.pw(preds[i], P_NEXT + i as u64), succs[i], node.0))
                 .collect();
             if self.do_cas(&targets) {
                 drop(guard);
@@ -425,7 +427,11 @@ mod tests {
 
     #[test]
     fn basic_semantics_all_modes() {
-        for mode in [PersistMode::Strict, PersistMode::NoFlush, PersistMode::HtmMwcas] {
+        for mode in [
+            PersistMode::Strict,
+            PersistMode::NoFlush,
+            PersistMode::HtmMwcas,
+        ] {
             let l = list(mode);
             assert!(l.insert(10, 1));
             assert!(!l.insert(10, 2));
@@ -448,7 +454,10 @@ mod tests {
             rng ^= rng >> 27;
             let key = rng % 512;
             match rng % 3 {
-                0 => assert_eq!(l.insert(key, key + 7), oracle.insert(key, key + 7).is_none()),
+                0 => assert_eq!(
+                    l.insert(key, key + 7),
+                    oracle.insert(key, key + 7).is_none()
+                ),
                 1 => assert_eq!(l.remove(key), oracle.remove(&key).is_some()),
                 _ => assert_eq!(l.get(key), oracle.get(&key).copied()),
             }
@@ -488,10 +497,10 @@ mod tests {
     fn concurrent_mixed_ops_keep_per_key_invariant() {
         for mode in [PersistMode::Strict, PersistMode::HtmMwcas] {
             let l = Arc::new(list(mode));
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for t in 0..4u64 {
                     let l = Arc::clone(&l);
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         let mut rng = t * 31 + 1;
                         for _ in 0..2000 {
                             rng ^= rng >> 12;
@@ -514,8 +523,7 @@ mod tests {
                         }
                     });
                 }
-            })
-            .unwrap();
+            });
         }
     }
 
@@ -565,7 +573,10 @@ mod tests {
         // garbage) after recovery; we only check the data did not all
         // reach media.
         let head_next = img.word(l.pw(l.head, P_NEXT));
-        assert_eq!(head_next, 0, "no-flush variant unexpectedly persisted links");
+        assert_eq!(
+            head_next, 0,
+            "no-flush variant unexpectedly persisted links"
+        );
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! `successor_tx`, ...) never write.
 
 use crate::node::{Node, EMPTY};
+use htm_sim::sync::Mutex;
 use htm_sim::{max_threads, thread_id, MemAccess, TxResult};
-use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -27,10 +27,13 @@ pub struct AllocCtx {
 /// The shared DRAM vEB index. Keys are in `[0, 2^ubits)`; each present
 /// key has one u64 *slot* (a value for the transient tree, an NVM block
 /// pointer for the buffered-durable tree).
+/// A thread's stash of preallocated nodes: `(ubits, node_ptr)` pairs.
+type SpareNodes = Mutex<Vec<(u32, u64)>>;
+
 pub struct VebIndex {
     pub ubits: u32,
     root: u64,
-    spare: Box<[Mutex<Vec<(u32, u64)>>]>,
+    spare: Box<[SpareNodes]>,
     dram_bytes: AtomicU64,
 }
 
@@ -58,7 +61,7 @@ impl VebIndex {
     }
 
     #[inline]
-    unsafe fn node<'e>(&'e self, ptr: u64) -> &'e Node {
+    unsafe fn node(&self, ptr: u64) -> &Node {
         debug_assert_ne!(ptr, 0);
         &*(ptr as *const Node)
     }
@@ -159,12 +162,7 @@ impl VebIndex {
         self.get_rec(m, self.root, key)
     }
 
-    fn get_rec<'e>(
-        &'e self,
-        m: &mut dyn MemAccess<'e>,
-        ptr: u64,
-        x: u64,
-    ) -> TxResult<Option<u64>> {
+    fn get_rec<'e>(&'e self, m: &mut dyn MemAccess<'e>, ptr: u64, x: u64) -> TxResult<Option<u64>> {
         match unsafe { self.node(ptr) } {
             Node::Leaf(l) => {
                 if m.load(&l.bits)? & (1 << x) == 0 {
@@ -319,9 +317,7 @@ impl VebIndex {
                     let sh = self.min_key(m, s)?;
                     let c = m.load(&i.clusters[sh as usize])?;
                     let lo = self.min_key(m, c)?;
-                    let promoted = self
-                        .remove_rec(m, c, lo)?
-                        .expect("promoted key must exist");
+                    let promoted = self.remove_rec(m, c, lo)?.expect("promoted key must exist");
                     m.store(&i.min, (sh << i.lowbits) | lo)?;
                     m.store(&i.min_val, promoted)?;
                     if self.is_empty(m, c)? {

@@ -83,9 +83,7 @@ impl Node {
     pub fn footprint(&self) -> usize {
         match self {
             Node::Leaf(_) => std::mem::size_of::<Node>() + 64 * 8,
-            Node::Internal(i) => {
-                std::mem::size_of::<Node>() + i.clusters.len() * 8
-            }
+            Node::Internal(i) => std::mem::size_of::<Node>() + i.clusters.len() * 8,
         }
     }
 

@@ -97,9 +97,10 @@ impl PhtmVeb {
             // retry_regist (Listing 1 line 7)
             let op_epoch = self.esys.begin_op();
             let blk = self.new_blk.take(&self.esys); // epoch reset to INVALID
-            // Initialize the (private) block: key and value.
+                                                     // Initialize the (private) block: key and value.
             heap.word(payload(blk, P_KEY)).store(key, Ordering::Release);
-            heap.word(payload(blk, P_VAL)).store(value, Ordering::Release);
+            heap.word(payload(blk, P_VAL))
+                .store(value, Ordering::Release);
             Header::set_tag(heap, blk, VEB_KV_TAG);
 
             let ctx = AllocCtx::default();
@@ -249,9 +250,7 @@ impl PhtmVeb {
                 &self.lock,
                 &mut |m: &mut dyn MemAccess| match self.index.successor_tx(m, key)? {
                     None => Ok(None),
-                    Some((k, slot)) => {
-                        Ok(Some((k, self.esys.p_get(m, NvmAddr(slot), P_VAL)?)))
-                    }
+                    Some((k, slot)) => Ok(Some((k, self.esys.p_get(m, NvmAddr(slot), P_VAL)?))),
                 },
                 self.hook(key),
             )
@@ -270,9 +269,7 @@ impl PhtmVeb {
                 &self.lock,
                 &mut |m: &mut dyn MemAccess| match self.index.predecessor_tx(m, key)? {
                     None => Ok(None),
-                    Some((k, slot)) => {
-                        Ok(Some((k, self.esys.p_get(m, NvmAddr(slot), P_VAL)?)))
-                    }
+                    Some((k, slot)) => Ok(Some((k, self.esys.p_get(m, NvmAddr(slot), P_VAL)?))),
                 },
                 self.hook(key),
             )
@@ -330,16 +327,15 @@ impl PhtmVeb {
             }
         } else {
             let chunk = mine.len().div_ceil(threads);
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for part in mine.chunks(chunk) {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         for b in part {
                             rebuild_one(b);
                         }
                     });
                 }
-            })
-            .unwrap();
+            });
         }
         tree
     }
@@ -347,6 +343,66 @@ impl PhtmVeb {
     /// Reclaims the per-thread preallocated blocks (clean shutdown).
     pub fn drain_preallocated(&self) {
         self.new_blk.drain(&self.esys);
+    }
+
+    /// Structural invariant check for the fault-injection harness: walks
+    /// the index in key order and cross-checks every slot against its
+    /// NVM block — allocated, tagged [`VEB_KV_TAG`], a valid (claimed,
+    /// not-from-the-future) epoch, and a key word matching the index
+    /// position. Call while quiescent, e.g. right after recovery.
+    pub fn validate(&self) -> Result<(), String> {
+        use persist_alloc::BlockState;
+        let heap = self.esys.heap();
+        let clock = self.esys.current_epoch();
+        let cap = 1u64 << self.index.ubits;
+        let mut prev: Option<u64> = None;
+        let mut seen = 0u64;
+        loop {
+            let next = self
+                .htm
+                .run(&self.lock, |m| match prev {
+                    None => match self.index.get_tx(m, 0)? {
+                        Some(slot) => Ok(Some((0u64, slot))),
+                        None => self.index.successor_tx(m, 0),
+                    },
+                    Some(p) => self.index.successor_tx(m, p),
+                })
+                .map_err(|e| format!("validate: index walk aborted ({e:?})"))?;
+            let Some((key, slot)) = next else {
+                return Ok(());
+            };
+            if prev.is_some_and(|p| key <= p) {
+                return Err(format!("validate: key order violated at {key}"));
+            }
+            seen += 1;
+            if seen > cap {
+                return Err("validate: walk exceeded the universe (index cycle)".into());
+            }
+            let blk = NvmAddr(slot);
+            match Header::state(heap, blk) {
+                Some((BlockState::Allocated, _)) => {}
+                other => {
+                    return Err(format!(
+                        "key {key}: block {blk:?} not allocated ({other:?})"
+                    ))
+                }
+            }
+            let tag = Header::tag(heap, blk);
+            if tag != VEB_KV_TAG {
+                return Err(format!("key {key}: block {blk:?} has foreign tag {tag:#x}"));
+            }
+            let be = Header::epoch(heap, blk);
+            if be == persist_alloc::INVALID_EPOCH || be > clock {
+                return Err(format!(
+                    "key {key}: block {blk:?} carries invalid epoch {be} (clock {clock})"
+                ));
+            }
+            let k = heap.word(payload(blk, P_KEY)).load(Ordering::Acquire);
+            if k != key {
+                return Err(format!("index key {key} points at block holding key {k}"));
+            }
+            prev = Some(key);
+        }
     }
 }
 
@@ -401,7 +457,11 @@ mod tests {
             t.insert(5, v);
         }
         assert_eq!(t.get(5), Some(49));
-        assert_eq!(t.nvm_bytes(), nvm_before, "in-place updates must not allocate");
+        assert_eq!(
+            t.nvm_bytes(),
+            nvm_before,
+            "in-place updates must not allocate"
+        );
     }
 
     #[test]
@@ -459,7 +519,7 @@ mod tests {
         }
         t.epoch_sys().advance();
         t.epoch_sys().advance(); // epoch-2 data durable
-        // Current epoch: keys 100..200 — will be lost.
+                                 // Current epoch: keys 100..200 — will be lost.
         for k in 100..200 {
             t.insert(k, k * 2);
         }
@@ -492,22 +552,21 @@ mod tests {
         let t = Arc::new(setup(10));
         t.insert(1, 10);
         // Force epoch churn while another thread updates the same key.
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let t1 = Arc::clone(&t);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in 0..2000 {
                     t1.insert(1, i);
                 }
             });
             let t2 = Arc::clone(&t);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for _ in 0..40 {
                     t2.epoch_sys().advance();
                     std::thread::sleep(std::time::Duration::from_micros(200));
                 }
             });
-        })
-        .unwrap();
+        });
         assert!(t.get(1).is_some());
     }
 

@@ -76,8 +76,8 @@ impl Zipfian {
         } else {
             let head: f64 = (1..=EXACT).map(|i| 1.0 / (i as f64).powf(theta)).sum();
             // integral of x^-theta from EXACT to n.
-            let tail = ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta))
-                / (1.0 - theta);
+            let tail =
+                ((n as f64).powf(1.0 - theta) - (EXACT as f64).powf(1.0 - theta)) / (1.0 - theta);
             head + tail
         }
     }
@@ -202,7 +202,10 @@ mod tests {
         };
         let hot99 = count_top(0.99, &mut rng);
         let hot90 = count_top(0.9, &mut rng);
-        assert!(hot99 > hot90, "0.99 ({hot99}) must be hotter than 0.9 ({hot90})");
+        assert!(
+            hot99 > hot90,
+            "0.99 ({hot99}) must be hotter than 0.9 ({hot90})"
+        );
     }
 
     #[test]

@@ -91,9 +91,7 @@ impl WorkloadSpec {
     pub fn build(&self) -> Workload {
         let dist: Arc<dyn KeyDist> = match self.distribution {
             Distribution::Uniform => Arc::new(Uniform::new(self.universe)),
-            Distribution::Zipfian(theta) => {
-                Arc::new(ScrambledZipfian::new(self.universe, theta))
-            }
+            Distribution::Zipfian(theta) => Arc::new(ScrambledZipfian::new(self.universe, theta)),
         };
         Workload {
             dist,

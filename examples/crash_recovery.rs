@@ -57,9 +57,14 @@ fn veb_demo() {
     let esys = EpochSys::format(heap, EpochConfig::default());
     let htm = Arc::new(Htm::new(HtmConfig::default()));
     let tree = PhtmVeb::new(14, Arc::clone(&esys), Arc::clone(&htm));
-    let (esys2, live) = run_crash(&esys, |k| {
-        tree.insert(k, k + 1);
-    }, 3000, 3500);
+    let (esys2, live) = run_crash(
+        &esys,
+        |k| {
+            tree.insert(k, k + 1);
+        },
+        3000,
+        3500,
+    );
     let tree2 = PhtmVeb::recover(14, esys2, htm, &live, 2);
     for k in 0..3000 {
         assert_eq!(tree2.get(k), Some(k + 1), "durable key {k} lost");
@@ -74,9 +79,14 @@ fn skiplist_demo() {
     let esys = EpochSys::format(heap, EpochConfig::default());
     let htm = Arc::new(Htm::new(HtmConfig::default()));
     let list = BdlSkiplist::new(Arc::clone(&esys), Arc::clone(&htm));
-    let (esys2, live) = run_crash(&esys, |k| {
-        list.insert(k + 1, (k + 1) * 10);
-    }, 2000, 2400);
+    let (esys2, live) = run_crash(
+        &esys,
+        |k| {
+            list.insert(k + 1, (k + 1) * 10);
+        },
+        2000,
+        2400,
+    );
     let list2 = BdlSkiplist::recover(esys2, htm, &live, 2);
     assert_eq!(list2.len(), 2000);
     println!("2000 durable keys recovered, towers rebuilt in DRAM");
@@ -107,9 +117,14 @@ fn spash_demo() {
     let esys = EpochSys::format(heap, EpochConfig::default());
     let htm = Arc::new(Htm::new(HtmConfig::default()));
     let table = BdSpash::new(Arc::clone(&esys), Arc::clone(&htm));
-    let (esys2, live) = run_crash(&esys, |k| {
-        table.insert(k, k ^ 0xFF);
-    }, 4000, 4600);
+    let (esys2, live) = run_crash(
+        &esys,
+        |k| {
+            table.insert(k, k ^ 0xFF);
+        },
+        4000,
+        4600,
+    );
     let table2 = BdSpash::recover(esys2, htm, &live);
     for k in 0..4000 {
         assert_eq!(table2.get(k), Some(k ^ 0xFF), "durable key {k} lost");

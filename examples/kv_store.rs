@@ -37,13 +37,13 @@ fn main() {
     let stop = Arc::new(AtomicBool::new(false));
     let total_ops = Arc::new(AtomicU64::new(0));
     let t0 = Instant::now();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for tid in 0..threads {
             let store = Arc::clone(&store);
             let workload = workload.clone();
             let stop = Arc::clone(&stop);
             let total_ops = Arc::clone(&total_ops);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut rng = Rng64::new(tid as u64 + 1);
                 let mut ops = 0u64;
                 while !stop.load(Ordering::Relaxed) {
@@ -66,8 +66,7 @@ fn main() {
         }
         std::thread::sleep(Duration::from_secs(seconds));
         stop.store(true, Ordering::Relaxed);
-    })
-    .unwrap();
+    });
     let elapsed = t0.elapsed();
     ticker.stop();
 
@@ -95,5 +94,8 @@ fn main() {
         esys.stats().blocks_persisted.load(Ordering::Relaxed),
         esys.stats().blocks_reclaimed.load(Ordering::Relaxed),
     );
-    println!("NVM space in use: {:.1} MiB", store.nvm_bytes() as f64 / (1 << 20) as f64);
+    println!(
+        "NVM space in use: {:.1} MiB",
+        store.nvm_bytes() as f64 / (1 << 20) as f64
+    );
 }

@@ -22,10 +22,10 @@ fn main() {
 
     // Concurrent bulk load: 4 threads, interleaved "order ids".
     let t0 = Instant::now();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for tid in 0..4u64 {
             let index = Arc::clone(&index);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut k = 2 * tid; // even keys only, striped per thread
                 while k < 1 << ubits {
                     index.insert(k, k.wrapping_mul(2654435761));
@@ -33,8 +33,7 @@ fn main() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     println!(
         "loaded {} keys in {:?} across 4 threads",
         1 << (ubits - 1),

@@ -65,7 +65,12 @@ fn main() {
     let heap2 = Arc::new(NvmHeap::from_image(image));
     let (esys2, live) = EpochSys::recover(heap2, EpochConfig::default(), 2);
     println!("recovery found {} live KV blocks", live.len());
-    let map2 = BdhtHashMap::recover(1 << 12, esys2, Arc::new(Htm::new(HtmConfig::default())), &live);
+    let map2 = BdhtHashMap::recover(
+        1 << 12,
+        esys2,
+        Arc::new(Htm::new(HtmConfig::default())),
+        &live,
+    );
 
     let mut survived = 0;
     for k in 0..10_000u64 {

@@ -26,6 +26,7 @@
 //! | [`hashtable`] | Listing-1 table, Spash, BD-Spash, CCEH, Plush (§4.3) |
 //! | [`btree`] | LB+Tree, OCC-ABTree, Elim-ABTree baselines (Fig. 3) |
 //! | [`ycsb_gen`] | YCSB-style workloads (uniform / scrambled Zipfian) |
+//! | [`fault`] | deterministic crash-point sweeps: count→replay enumeration, torn writes, double crash, abort injection |
 //!
 //! ## Quickstart
 //!
@@ -57,6 +58,7 @@
 
 pub use bdhtm_core;
 pub use btree;
+pub use fault;
 pub use hashtable;
 pub use htm_sim;
 pub use mwcas;
@@ -70,6 +72,7 @@ pub use ycsb_gen;
 pub mod prelude {
     pub use bdhtm_core::{EpochConfig, EpochSys, EpochTicker, LiveBlock, UpdateKind};
     pub use btree::{ElimAbTree, LbTree, OccAbTree};
+    pub use fault::{SweepConfig, SweepReport, SweepTarget};
     pub use hashtable::{BdSpash, BdhtHashMap, Cceh, Plush, Spash};
     pub use htm_sim::{AbortCause, FallbackLock, Htm, HtmConfig, MemAccess};
     pub use mwcas::{HtmMwCas, MwCasPool, MwTarget};

@@ -107,10 +107,10 @@ fn concurrent_history_recovers_a_consistent_cut() {
     let keys = 64u64;
     let writers = 4u64;
     // Each thread owns a disjoint key set and writes increasing values.
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..writers {
             let map = Arc::clone(&map);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for v in 1..=400u64 {
                     for key in (t * keys / writers)..((t + 1) * keys / writers) {
                         map.insert(key, v);
@@ -119,14 +119,13 @@ fn concurrent_history_recovers_a_consistent_cut() {
             });
         }
         let esys = Arc::clone(&esys);
-        s.spawn(move |_| {
+        s.spawn(move || {
             for _ in 0..25 {
                 esys.advance();
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
         });
-    })
-    .unwrap();
+    });
     // Quiesce: one more full flush, then two more epochs of writes that
     // will be lost.
     esys.flush_all();

@@ -67,14 +67,18 @@ fn concurrent_mixed_structures_survive_a_midflight_crash() {
     );
     let htm = Arc::new(Htm::new(HtmConfig::default()));
     let tree = Arc::new(PhtmVeb::new(12, Arc::clone(&esys), Arc::clone(&htm)));
-    let table = Arc::new(BdhtHashMap::new(1 << 11, Arc::clone(&esys), Arc::clone(&htm)));
+    let table = Arc::new(BdhtHashMap::new(
+        1 << 11,
+        Arc::clone(&esys),
+        Arc::clone(&htm),
+    ));
 
     let ticker = EpochTicker::spawn(Arc::clone(&esys));
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for t in 0..2u64 {
             let tree = Arc::clone(&tree);
             let table = Arc::clone(&table);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for i in 0..2000u64 {
                     let k = (t * 2000 + i) % 4096;
                     tree.insert(k, k.wrapping_mul(3));
@@ -82,8 +86,7 @@ fn concurrent_mixed_structures_survive_a_midflight_crash() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     ticker.stop();
 
     let heap2 = Arc::new(NvmHeap::from_image(esys.heap().crash()));
@@ -103,5 +106,8 @@ fn concurrent_mixed_structures_survive_a_midflight_crash() {
             assert_eq!(v, k.wrapping_mul(5), "table key {k} corrupt");
         }
     }
-    assert!(recovered > 0, "a millisecond ticker should persist something");
+    assert!(
+        recovered > 0,
+        "a millisecond ticker should persist something"
+    );
 }

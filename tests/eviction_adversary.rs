@@ -115,6 +115,42 @@ fn bd_spash_survives_eviction_storms() {
     }
 }
 
+/// The systematic version of the storms above, covering all three BDL
+/// structure families uniformly: the crash-point driver enumerates
+/// every persist boundary of an eviction-heavy mixed workload —
+/// including the `EvictLine` points inside `evict_random_lines` itself
+/// — and crashes at an even stride of them. Each replay must recover
+/// to the exact durable prefix and pass the structure's `validate()`.
+#[test]
+fn eviction_heavy_crash_point_sweep_all_structures() {
+    use fault::{sweep, SweepConfig};
+    let mut cfg = SweepConfig::quick(0xE71C_7103);
+    cfg.ops = 120;
+    cfg.advance_every = 16;
+    cfg.keys = 64;
+    // Much heavier eviction pressure than the quick default: a burst of
+    // lines every few operations, so crash points land inside eviction
+    // write-backs throughout the run.
+    cfg.evict_every = 5;
+    cfg.evict_lines = 12;
+    let cfg = cfg.with_max_replays(30);
+    for r in [
+        sweep::<PhtmVeb>(&cfg),
+        sweep::<BdlSkiplist>(&cfg),
+        sweep::<BdSpash>(&cfg),
+    ] {
+        assert!(
+            r.passed(),
+            "{}: {}/{} eviction-storm replays failed; first: {}",
+            r.structure,
+            r.failures.len(),
+            r.replays,
+            r.failures[0]
+        );
+        assert!(r.points >= 100, "{}: only {} points", r.structure, r.points);
+    }
+}
+
 /// Eviction must never *help* either: data evicted to media from a
 /// discarded epoch must still be rolled back by recovery (the block's
 /// epoch tag exceeds the frontier even though its bytes hit media).
@@ -128,13 +164,19 @@ fn evicted_but_undurable_epochs_are_still_discarded() {
     esys.advance();
     esys.advance(); // (1 -> 100) durable
     tree.insert(1, 200); // current epoch
-    // Force EVERYTHING to media, including the new version's block.
+                         // Force EVERYTHING to media, including the new version's block.
     for seed in 0..64 {
         esys.heap().evict_random_lines(256, seed);
     }
     let heap2 = Arc::new(NvmHeap::from_image(esys.heap().crash()));
     let (esys2, live) = EpochSys::recover(heap2, EpochConfig::default(), 1);
-    let tree2 = PhtmVeb::recover(10, esys2, Arc::new(Htm::new(HtmConfig::default())), &live, 1);
+    let tree2 = PhtmVeb::recover(
+        10,
+        esys2,
+        Arc::new(Htm::new(HtmConfig::default())),
+        &live,
+        1,
+    );
     assert_eq!(
         tree2.get(1),
         Some(100),

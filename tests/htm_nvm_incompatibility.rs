@@ -46,9 +46,7 @@ fn allocation_inside_a_transaction_aborts() {
 /// same transactional flush commits fine — the §4.3 premise.
 #[test]
 fn eadr_dissolves_the_incompatibility() {
-    let heap = Arc::new(NvmHeap::new(
-        NvmConfig::for_tests(8 << 20).with_eadr(true),
-    ));
+    let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(8 << 20).with_eadr(true)));
     let htm = Htm::new(HtmConfig::default());
     let a = heap.base();
     let r = htm.attempt(|t| {
