@@ -16,6 +16,26 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> examples build and run"
+for ex in quickstart kv_store ordered_index crash_recovery; do
+    echo "--- example: $ex"
+    cargo run --release -q --example "$ex"
+done
+
+echo "==> fault sweep digest (behavior-preservation pin)"
+DIGEST="$(FAULT_SEED=0xBD15EED ./target/release/fault_sweep --digest)"
+EXPECTED="0xc80ad7894b7a0701"
+if [ "$DIGEST" != "$EXPECTED" ]; then
+    echo "pinned-seed sweep digest changed: got $DIGEST, want $EXPECTED" >&2
+    echo "(a refactor altered crash-point schedules or recovery outcomes;" >&2
+    echo " if the change is intentional, update EXPECTED in ci.sh)" >&2
+    exit 1
+fi
+echo "digest $DIGEST == $EXPECTED"
+
 echo "==> fault sweep smoke (pinned FAULT_SEED)"
 FAULT_SEED=0xBD15EED ./target/release/fault_sweep --ops 160 --replays 40
 

@@ -69,7 +69,7 @@ fn main() {
                 Arc::clone(&esys),
                 Arc::new(Htm::new(HtmConfig::default())),
             ));
-            let b = Arc::new(PhtmVebBackend(tree));
+            let b: Arc<dyn KvBackend> = tree;
             prefill(b.as_ref(), &w);
             let ticker = EpochTicker::spawn(esys);
             vals.push(throughput(b, &w, t));

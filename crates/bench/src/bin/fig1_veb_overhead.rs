@@ -57,7 +57,7 @@ fn main() {
             );
             let htm = Arc::new(Htm::new(HtmConfig::default()));
             let tree = Arc::new(PhtmVeb::new(ubits, Arc::clone(&esys), htm));
-            let backend = Arc::new(PhtmVebBackend(Arc::clone(&tree)));
+            let backend: Arc<dyn KvBackend> = Arc::clone(&tree) as _;
             prefill(backend.as_ref(), &w);
             let ticker = EpochTicker::spawn(esys);
             vals.push(throughput(backend, &w, t));

@@ -74,7 +74,7 @@ fn main() {
             );
             let htm = Arc::new(Htm::new(HtmConfig::default()));
             let tree = Arc::new(PhtmVeb::new(ubits, Arc::clone(&esys), Arc::clone(&htm)));
-            let backend = Arc::new(PhtmVebBackend(tree));
+            let backend: Arc<dyn KvBackend> = tree;
             prefill(backend.as_ref(), &w);
             let ticker = EpochTicker::spawn(esys);
             htm.stats().reset();

@@ -28,7 +28,7 @@ fn phtm_series(ubits: u32, w: &Workload, threads: &[usize]) -> Vec<f64> {
         );
         let htm = Arc::new(Htm::new(HtmConfig::default()));
         let tree = Arc::new(PhtmVeb::new(ubits, Arc::clone(&esys), htm));
-        let backend = Arc::new(PhtmVebBackend(tree));
+        let backend: Arc<dyn KvBackend> = tree;
         prefill(backend.as_ref(), w);
         let ticker = EpochTicker::spawn(esys);
         vals.push(throughput(backend, w, t));

@@ -52,7 +52,7 @@ fn main() {
             );
             let htm = Arc::new(Htm::new(HtmConfig::default()));
             let list = Arc::new(BdlSkiplist::new(Arc::clone(&esys), htm));
-            let backend = Arc::new(BdlSkiplistBackend(list));
+            let backend: Arc<dyn KvBackend> = list;
             prefill(backend.as_ref(), &w);
             let ticker = EpochTicker::spawn(esys);
             vals.push(throughput(backend, &w, t));

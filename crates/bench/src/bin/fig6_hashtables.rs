@@ -73,7 +73,7 @@ fn main() {
                     let htm = Arc::new(Htm::new(HtmConfig::default()));
                     let t = Arc::new(BdSpash::new(Arc::clone(&esys), htm));
                     let ticker = EpochTicker::spawn(esys);
-                    (Arc::new(BdSpashBackend(t)) as _, Some(ticker))
+                    (t as _, Some(ticker))
                 }),
             );
             row(

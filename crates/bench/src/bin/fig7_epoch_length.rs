@@ -57,7 +57,7 @@ fn main() {
             let esys = EpochSys::format(heap, EpochConfig::default().with_epoch_len(*len));
             let htm = Arc::new(Htm::new(HtmConfig::default()));
             let tree = Arc::new(PhtmVeb::new(ubits, Arc::clone(&esys), htm));
-            let backend = Arc::new(PhtmVebBackend(tree));
+            let backend: Arc<dyn KvBackend> = tree;
             prefill(backend.as_ref(), &w);
             let ticker = EpochTicker::spawn(esys);
             let mops = throughput(backend, &w, 1);

@@ -99,7 +99,7 @@ fn main() {
     let htm = Arc::new(Htm::new(HtmConfig::default()));
     let tree = Arc::new(PhtmVeb::new(ubits, Arc::clone(&esys), htm));
     let w = WorkloadSpec::uniform(universe, Mix::reads(0.0)).build();
-    let backend = Arc::new(PhtmVebBackend(Arc::clone(&tree)));
+    let backend: Arc<dyn KvBackend> = Arc::clone(&tree) as _;
     prefill(backend.as_ref(), &w);
     let ticker = EpochTicker::spawn(Arc::clone(&esys));
     let threads = *thread_counts().last().unwrap_or(&4);

@@ -122,6 +122,28 @@ pub fn header(first: &str, threads: &[usize]) {
 
 // ---------------------------------------------------------------------
 // Backend adapters.
+//
+// Every BDL structure is a backend for free: the `BdlKv` trait carries
+// exactly the surface the harness drives. Figure binaries pass the
+// structure's `Arc` straight to `throughput` — no wrapper type.
+
+impl<T: bdhtm_core::BdlKv> KvBackend for T {
+    #[inline]
+    fn read(&self, key: u64) {
+        let _ = bdhtm_core::BdlKv::get(self, key);
+    }
+    #[inline]
+    fn insert(&self, key: u64, value: u64) {
+        bdhtm_core::BdlKv::insert(self, key, value);
+    }
+    #[inline]
+    fn remove(&self, key: u64) {
+        bdhtm_core::BdlKv::remove(self, key);
+    }
+}
+
+// Non-BDL baselines (DRAM-only, undo-log, OCC...) lack the trait and
+// keep their hand-written adapter wrappers.
 
 macro_rules! kv_adapter {
     ($name:ident, $inner:ty, $read:expr, $ins:expr, $rem:expr) => {
@@ -154,13 +176,6 @@ kv_adapter!(
     |t: &veb::HtmVeb, k| t.remove(k)
 );
 kv_adapter!(
-    PhtmVebBackend,
-    veb::PhtmVeb,
-    |t: &veb::PhtmVeb, k| t.get(k),
-    |t: &veb::PhtmVeb, k, v| t.insert(k, v),
-    |t: &veb::PhtmVeb, k| t.remove(k)
-);
-kv_adapter!(
     LbTreeBackend,
     btree::LbTree,
     |t: &btree::LbTree, k| t.get(k),
@@ -189,25 +204,11 @@ kv_adapter!(
     |t: &skiplist::DlSkiplist, k| t.remove(k)
 );
 kv_adapter!(
-    BdlSkiplistBackend,
-    skiplist::BdlSkiplist,
-    |t: &skiplist::BdlSkiplist, k| t.get(k),
-    |t: &skiplist::BdlSkiplist, k, v| t.insert(k, v),
-    |t: &skiplist::BdlSkiplist, k| t.remove(k)
-);
-kv_adapter!(
     SpashBackend,
     hashtable::Spash,
     |t: &hashtable::Spash, k| t.get(k),
     |t: &hashtable::Spash, k, v| t.insert(k, v),
     |t: &hashtable::Spash, k| t.remove(k)
-);
-kv_adapter!(
-    BdSpashBackend,
-    hashtable::BdSpash,
-    |t: &hashtable::BdSpash, k| t.get(k),
-    |t: &hashtable::BdSpash, k, v| t.insert(k, v),
-    |t: &hashtable::BdSpash, k| t.remove(k)
 );
 kv_adapter!(
     CcehBackend,
@@ -237,9 +238,8 @@ mod tests {
         let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(32 << 20)));
         let esys = EpochSys::format(heap, EpochConfig::default());
         let htm = Arc::new(Htm::new(HtmConfig::default()));
-        let tree = Arc::new(veb::PhtmVeb::new(12, esys, htm));
+        let backend: Arc<dyn KvBackend> = Arc::new(veb::PhtmVeb::new(12, esys, htm));
         let w = WorkloadSpec::uniform(1 << 12, Mix::write_heavy()).build();
-        let backend = Arc::new(PhtmVebBackend(tree));
         prefill(backend.as_ref(), &w);
         std::env::set_var("BDHTM_SECS", "0.05");
         let mops = throughput(backend, &w, 2);

@@ -15,7 +15,7 @@ pub struct EpochConfig {
     /// attempt yields before retrying. `0` means a single attempt.
     pub advance_retries: u32,
     /// Bound on the buffered (tracked-but-not-yet-flushed) word set.
-    /// When non-zero, a thread entering [`begin_op`]
+    /// When non-zero, a thread entering [`EpochSys::begin_op`](crate::EpochSys::begin_op)
     /// (crate::EpochSys::begin_op) while the set exceeds the bound first
     /// helps advance the epoch, so dirty-set growth stays bounded even
     /// if the background ticker stalls. `0` disables backpressure.

@@ -43,11 +43,12 @@ pub fn payload(blk: NvmAddr, idx: u64) -> NvmAddr {
 ///
 /// [`PreallocSlots::take`] returns the thread's spare block or allocates
 /// a fresh one (outside any transaction — allocation aborts transactions);
-/// either way the block's epoch is reset to `INVALID_EPOCH`, upholding the
-/// §5 rule that an interrupted operation's block must never carry a stale
-/// epoch into its next use. [`PreallocSlots::put_back`] stashes an unused
-/// block for the next operation; [`PreallocSlots::drain`] reclaims every
-/// spare at clean shutdown.
+/// either way the block's epoch is `INVALID_EPOCH` on return, upholding
+/// the §5 rule that an interrupted operation's block must never carry a
+/// stale epoch into its next use. [`PreallocSlots::put_back`] resets the
+/// epoch *at stash time*, so `take` only pays the reset store for freshly
+/// allocated blocks; [`PreallocSlots::drain`] reclaims every spare at
+/// clean shutdown.
 pub struct PreallocSlots {
     payload_words: u64,
     slots: Box<[Mutex<Option<NvmAddr>>]>,
@@ -62,25 +63,41 @@ impl PreallocSlots {
         }
     }
 
-    /// The calling thread's preallocated block (Listing 1 line 10), with
-    /// its epoch reset to invalid (line 12's `INVALID_EPOCH`).
+    /// The calling thread's preallocated block (Listing 1 line 10),
+    /// guaranteed to carry `INVALID_EPOCH` (line 12).
+    ///
+    /// Invariant: a block coming out of a slot already had its epoch
+    /// reset by [`PreallocSlots::put_back`], so the hot reuse path skips
+    /// the release store; only a freshly allocated block pays it.
     pub fn take(&self, esys: &EpochSys) -> NvmAddr {
         let blk = {
             let mut slot = self.slots[thread_id()].lock();
             slot.take()
         };
-        let blk = match blk {
-            Some(b) => b,
-            None => esys.p_new(self.payload_words),
-        };
+        match blk {
+            Some(b) => b, // put_back already reset the epoch
+            None => {
+                let b = esys.p_new(self.payload_words);
+                esys.heap()
+                    .word(b.offset(HDR_EPOCH))
+                    .store(persist_alloc::INVALID_EPOCH, Ordering::Release);
+                b
+            }
+        }
+    }
+
+    /// Returns an unused block for the next operation on this thread,
+    /// resetting its epoch to `INVALID_EPOCH` at stash time.
+    ///
+    /// Invariant: every block sitting in a slot has an invalid epoch —
+    /// even if the aborted or in-place operation that owned it committed
+    /// a `set_epoch` — so [`PreallocSlots::take`] can hand slot blocks
+    /// out without touching the header. The store is plain (the block is
+    /// private: it was taken by this thread and never published).
+    pub fn put_back(&self, esys: &EpochSys, blk: NvmAddr) {
         esys.heap()
             .word(blk.offset(HDR_EPOCH))
             .store(persist_alloc::INVALID_EPOCH, Ordering::Release);
-        blk
-    }
-
-    /// Returns an unused block for the next operation on this thread.
-    pub fn put_back(&self, blk: NvmAddr) {
         *self.slots[thread_id()].lock() = Some(blk);
     }
 
@@ -341,6 +358,13 @@ impl EpochSys {
         self.frontier.load(Ordering::SeqCst)
     }
 
+    /// The epoch the calling thread has announced, or [`EMPTY_EPOCH`]
+    /// when it has no operation in flight (diagnostic; the op-lifecycle
+    /// tests assert the bracket never leaks an announcement).
+    pub fn announced_epoch(&self) -> u64 {
+        self.announce[thread_id()].load(Ordering::SeqCst)
+    }
+
     // ----- Table 2: operation bracketing ---------------------------------
 
     /// Registers the calling thread as active in the current epoch and
@@ -422,7 +446,7 @@ impl EpochSys {
     // ----- Table 2: memory management ------------------------------------
 
     /// Allocates an NVM block able to hold `payload_words` of payload.
-    /// The block carries [`INVALID_EPOCH`] until [`EpochSys::set_epoch`]
+    /// The block carries `INVALID_EPOCH` until [`EpochSys::set_epoch`]
     /// claims it inside a transaction; recovery reclaims unclaimed blocks.
     ///
     /// The allocator flushes its metadata, so calling this inside a
@@ -892,18 +916,21 @@ mod tests {
         let _e = es.begin_op();
         let b1 = slots.take(&es);
         assert_eq!(Header::epoch(es.heap(), b1), INVALID_EPOCH);
-        // Simulate an interrupted operation that had claimed an epoch.
+        // Simulate an interrupted operation that had claimed an epoch:
+        // put_back must scrub it at stash time (the Sec. 5 rule), so
+        // take can hand the slot block straight back out.
         Header::set_epoch(es.heap(), b1, 7);
-        slots.put_back(b1);
+        slots.put_back(&es, b1);
+        assert_eq!(
+            Header::epoch(es.heap(), b1),
+            INVALID_EPOCH,
+            "put_back() must reset a stale epoch at stash time"
+        );
         let b2 = slots.take(&es);
         assert_eq!(b2, b1, "same thread reuses its spare block");
-        assert_eq!(
-            Header::epoch(es.heap(), b2),
-            INVALID_EPOCH,
-            "take() must reset a stale epoch (the Sec. 5 rule)"
-        );
+        assert_eq!(Header::epoch(es.heap(), b2), INVALID_EPOCH);
         es.end_op();
-        slots.put_back(b2);
+        slots.put_back(&es, b2);
         let live = es.alloc_stats().live_blocks[0];
         slots.drain(&es);
         assert_eq!(es.alloc_stats().live_blocks[0], live - 1);

@@ -80,6 +80,8 @@
 
 mod config;
 mod esys;
+mod kv;
+mod op;
 mod recovery;
 mod ticker;
 
@@ -88,6 +90,8 @@ pub use esys::{
     payload, AdvanceFault, EpochStats, EpochSys, PreallocSlots, UpdateKind, EMPTY_EPOCH,
     EPOCH_START, OLD_SEE_NEW,
 };
+pub use kv::{BdlKv, KV_UNIVERSE_BITS};
+pub use op::{run_op, CommitEffects, OpGuard, OpStep, RestartFn};
 pub use persist_alloc::INVALID_EPOCH;
 pub use recovery::LiveBlock;
 pub use ticker::EpochTicker;

@@ -12,11 +12,11 @@
 //!   ([`bdhtm_core::EpochSys::inject_advance_failures`]),
 //!
 //! and sweeps every persist boundary a workload crosses — see
-//! [`sweep`](crate::sweep) for the count→replay protocol.
+//! [`mod@crate::sweep`] for the count→replay protocol.
 
 pub mod sweep;
 
 pub use sweep::{
-    enumerate_points, replay, seed_from_env, silence_crash_panics, sweep, sweep_all, ReplayVerdict,
-    SweepConfig, SweepReport, SweepTarget, UNIVERSE_BITS,
+    digest_reports, enumerate_points, pinned_digest, replay, seed_from_env, silence_crash_panics,
+    sweep, sweep_all, ReplayVerdict, SweepConfig, SweepReport, SweepTarget, UNIVERSE_BITS,
 };

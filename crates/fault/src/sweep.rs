@@ -33,7 +33,7 @@
 //! from the `FAULT_SEED` environment variable) produces the same
 //! workload, the same crash-point schedule, and the same verdicts.
 
-use bdhtm_core::{EpochConfig, EpochSys, LiveBlock};
+use bdhtm_core::{EpochConfig, EpochSys};
 use hashtable::BdSpash;
 use htm_sim::{Htm, HtmConfig, SplitMix64};
 use nvm_sim::{CrashImage, CrashTriggered, FaultPlan, NvmConfig, NvmHeap};
@@ -43,9 +43,16 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use veb::PhtmVeb;
 
-/// Universe bits for the vEB target; bounds every target's key space so
-/// the three structures see identical workloads.
-pub const UNIVERSE_BITS: u32 = 10;
+/// Universe bits bounding every target's key space so all structures
+/// see identical workloads (re-exported from `bdhtm-core`).
+pub use bdhtm_core::KV_UNIVERSE_BITS as UNIVERSE_BITS;
+
+/// A structure family the sweep can drive: any [`bdhtm_core::BdlKv`]
+/// implementor. The sweep needs exactly the trait's surface —
+/// substrate-only constructors, tag-filtered recovery, and a quiescent
+/// `validate` — so the core trait *is* the sweep target; there is no
+/// adapter layer to keep in sync when a structure is added.
+pub use bdhtm_core::BdlKv as SweepTarget;
 
 /// Reads the sweep seed from `FAULT_SEED` (decimal or `0x`-hex),
 /// falling back to `default`. Pinning `FAULT_SEED` pins the entire
@@ -133,85 +140,6 @@ impl SweepConfig {
     }
 }
 
-/// A structure family the sweep can drive. All three BDL structures
-/// (PHTM-vEB, BDL-Skiplist, BD-Spash) implement it with `u64` keys in
-/// `1..2^UNIVERSE_BITS` and arbitrary `u64` values.
-pub trait SweepTarget: Sized {
-    const NAME: &'static str;
-    fn build(esys: Arc<EpochSys>, htm: Arc<Htm>) -> Self;
-    fn rebuild(esys: Arc<EpochSys>, htm: Arc<Htm>, live: &[LiveBlock]) -> Self;
-    fn insert(&self, key: u64, value: u64);
-    fn remove(&self, key: u64);
-    fn get(&self, key: u64) -> Option<u64>;
-    fn validate(&self) -> Result<(), String>;
-}
-
-impl SweepTarget for PhtmVeb {
-    const NAME: &'static str = "phtm-veb";
-    fn build(esys: Arc<EpochSys>, htm: Arc<Htm>) -> Self {
-        PhtmVeb::new(UNIVERSE_BITS, esys, htm)
-    }
-    fn rebuild(esys: Arc<EpochSys>, htm: Arc<Htm>, live: &[LiveBlock]) -> Self {
-        PhtmVeb::recover(UNIVERSE_BITS, esys, htm, live, 1)
-    }
-    fn insert(&self, key: u64, value: u64) {
-        PhtmVeb::insert(self, key, value);
-    }
-    fn remove(&self, key: u64) {
-        PhtmVeb::remove(self, key);
-    }
-    fn get(&self, key: u64) -> Option<u64> {
-        PhtmVeb::get(self, key)
-    }
-    fn validate(&self) -> Result<(), String> {
-        PhtmVeb::validate(self)
-    }
-}
-
-impl SweepTarget for BdlSkiplist {
-    const NAME: &'static str = "bdl-skiplist";
-    fn build(esys: Arc<EpochSys>, htm: Arc<Htm>) -> Self {
-        BdlSkiplist::new(esys, htm)
-    }
-    fn rebuild(esys: Arc<EpochSys>, htm: Arc<Htm>, live: &[LiveBlock]) -> Self {
-        BdlSkiplist::recover(esys, htm, live, 1)
-    }
-    fn insert(&self, key: u64, value: u64) {
-        BdlSkiplist::insert(self, key, value);
-    }
-    fn remove(&self, key: u64) {
-        BdlSkiplist::remove(self, key);
-    }
-    fn get(&self, key: u64) -> Option<u64> {
-        BdlSkiplist::get(self, key)
-    }
-    fn validate(&self) -> Result<(), String> {
-        BdlSkiplist::validate(self)
-    }
-}
-
-impl SweepTarget for BdSpash {
-    const NAME: &'static str = "bd-spash";
-    fn build(esys: Arc<EpochSys>, htm: Arc<Htm>) -> Self {
-        BdSpash::new(esys, htm)
-    }
-    fn rebuild(esys: Arc<EpochSys>, htm: Arc<Htm>, live: &[LiveBlock]) -> Self {
-        BdSpash::recover(esys, htm, live)
-    }
-    fn insert(&self, key: u64, value: u64) {
-        BdSpash::insert(self, key, value);
-    }
-    fn remove(&self, key: u64) {
-        BdSpash::remove(self, key);
-    }
-    fn get(&self, key: u64) -> Option<u64> {
-        BdSpash::get(self, key)
-    }
-    fn validate(&self) -> Result<(), String> {
-        BdSpash::validate(self)
-    }
-}
-
 /// A logged state mutation, with the epoch it executed in.
 #[derive(Clone, Copy, Debug)]
 enum Mutation {
@@ -269,7 +197,7 @@ pub fn silence_crash_panics() {
 fn setup<T: SweepTarget>(cfg: &SweepConfig) -> (Arc<NvmHeap>, Arc<EpochSys>, T) {
     let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(cfg.heap_bytes)));
     let esys = EpochSys::format(Arc::clone(&heap), EpochConfig::manual());
-    let t = T::build(Arc::clone(&esys), Arc::new(Htm::new(cfg.htm.clone())));
+    let t = T::new(Arc::clone(&esys), Arc::new(Htm::new(cfg.htm.clone())));
     (heap, esys, t)
 }
 
@@ -377,7 +305,7 @@ fn recover<T: SweepTarget>(img: CrashImage) -> (Arc<EpochSys>, T, u64) {
     let heap = Arc::new(NvmHeap::from_image(img));
     let (esys, live) = EpochSys::recover(heap, EpochConfig::manual(), 1);
     let r = esys.persisted_frontier();
-    let t = T::rebuild(
+    let t = T::recover(
         Arc::clone(&esys),
         Arc::new(Htm::new(HtmConfig::for_tests())),
         &live,
@@ -399,7 +327,7 @@ fn crash_during_recovery<T: SweepTarget>(
         let heap = Arc::new(NvmHeap::from_image(img.duplicate()));
         heap.arm_fault_plan(Arc::clone(&counter));
         let (esys, live) = EpochSys::recover(Arc::clone(&heap), EpochConfig::manual(), 1);
-        let _t = T::rebuild(esys, Arc::new(Htm::new(HtmConfig::for_tests())), &live);
+        let _t = T::recover(esys, Arc::new(Htm::new(HtmConfig::for_tests())), &live);
         heap.disarm_fault_plan();
     }
     let n = counter.points();
@@ -417,7 +345,7 @@ fn crash_during_recovery<T: SweepTarget>(
     heap.arm_fault_plan(Arc::clone(&plan));
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let (esys, live) = EpochSys::recover(Arc::clone(&heap), EpochConfig::manual(), 1);
-        let _t = T::rebuild(esys, Arc::new(Htm::new(HtmConfig::for_tests())), &live);
+        let _t = T::recover(esys, Arc::new(Htm::new(HtmConfig::for_tests())), &live);
     }));
     heap.disarm_fault_plan();
     match outcome {
@@ -534,6 +462,43 @@ pub fn sweep_all(cfg: &SweepConfig) -> Vec<SweepReport> {
         sweep::<BdlSkiplist>(cfg),
         sweep::<BdSpash>(cfg),
     ]
+}
+
+/// Folds sweep reports into one order-sensitive FNV-1a digest over
+/// everything a sweep observes: structure names, enumerated point
+/// counts, replay/fired/double-crash tallies, and every failure line.
+/// Two runs whose crash schedules and verdicts agree digest equal.
+pub fn digest_reports(reports: &[SweepReport]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let eat = |h: &mut u64, bytes: &[u8]| {
+        for &b in bytes {
+            *h = (*h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for r in reports {
+        eat(&mut h, r.structure.as_bytes());
+        for word in [r.points, r.replays, r.fired, r.double_crashes] {
+            eat(&mut h, &word.to_le_bytes());
+        }
+        for f in &r.failures {
+            eat(&mut h, f.as_bytes());
+        }
+    }
+    h
+}
+
+/// The behavior-preservation digest: a plain and a torn-write sweep of
+/// every structure family at a fixed, CI-sized configuration, folded
+/// with [`digest_reports`]. The value is a function of the persist
+/// schedule alone, so refactors that claim to preserve the operation
+/// lifecycle can assert the digest is bit-identical before and after.
+pub fn pinned_digest(seed: u64) -> u64 {
+    let mut cfg = SweepConfig::quick(seed);
+    cfg.ops = 160;
+    cfg.max_replays = 25;
+    let mut reports = sweep_all(&cfg);
+    reports.extend(sweep_all(&cfg.clone().with_torn_writes()));
+    digest_reports(&reports)
 }
 
 #[cfg(test)]

@@ -13,11 +13,14 @@
 
 use crate::hash64;
 use crate::hotspot::HotspotDetector;
-use bdhtm_core::{payload, EpochSys, LiveBlock, PreallocSlots, UpdateKind, OLD_SEE_NEW};
+use bdhtm_core::{
+    payload, run_op, CommitEffects, EpochSys, LiveBlock, OpStep, PreallocSlots, UpdateKind,
+    OLD_SEE_NEW,
+};
 use htm_sim::sync::RwLock;
-use htm_sim::{FallbackLock, Htm, MemAccess, RunError, TxResult};
+use htm_sim::{FallbackLock, Htm, MemAccess, TxResult};
 use nvm_sim::NvmAddr;
-use persist_alloc::{class_for_payload, Header, CLASS_WORDS};
+use persist_alloc::{class_for_payload, Header};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -160,23 +163,20 @@ impl BdSpash {
     }
 
     /// Persistence policy after a committed write: large cold blocks are
-    /// flushed immediately; everything else is tracked for the epoch
-    /// flusher (the coalescing argument of §4.3).
-    fn persist_policy(&self, blk: NvmAddr, hot: bool) {
+    /// flushed immediately (`persist_now` — the data reaches media right
+    /// after commit, freeing cache and spreading NVM bandwidth, and the
+    /// epoch flusher skips them entirely); everything else is tracked
+    /// for the epoch flusher (the coalescing argument of §4.3).
+    /// Visibility to recovery is still gated by the epoch frontier
+    /// either way, so durability semantics are unchanged. An in-place
+    /// update of an eagerly persisted block later in the same epoch
+    /// re-tracks it (see the `InPlace` arm of `insert`).
+    fn persist_effect<R>(&self, fx: CommitEffects<R>, blk: NvmAddr, hot: bool) -> CommitEffects<R> {
         if !hot && self.blocks_are_large() {
-            // Eager write-back: the data reaches media now (freeing cache
-            // and spreading NVM bandwidth), and the epoch flusher skips it
-            // entirely. Visibility to recovery is still gated by the
-            // epoch frontier, so durability semantics are unchanged. An
-            // in-place update of such a block later in the same epoch
-            // re-tracks it (see the `InPlace` arm of `insert`).
-            let heap = self.esys.heap();
-            let class = Header::state(heap, blk).map(|(_, c)| c).unwrap_or(0);
-            heap.persist_range(blk, CLASS_WORDS[class]);
-            heap.fence();
-            return;
+            fx.persist_now(blk)
+        } else {
+            fx.track(blk)
         }
-        self.esys.p_track(blk);
     }
 
     /// Inserts or updates `key`. Returns `true` if newly inserted. The
@@ -187,9 +187,8 @@ impl BdSpash {
         let h = hash64(key);
         let hot = self.hotspot.touch(h);
         let heap = self.esys.heap();
-        loop {
-            let op_epoch = self.esys.begin_op();
-            let blk = self.new_blk.take(&self.esys); // epoch reset to INVALID
+        run_op(&self.esys, Some(&self.new_blk), |op| {
+            let (blk, op_epoch) = (op.blk(), op.epoch());
             heap.word(payload(blk, P_KEY)).store(key, Ordering::Release);
             for w in 0..self.value_words {
                 heap.word(payload(blk, P_VAL + w))
@@ -226,53 +225,37 @@ impl BdSpash {
             });
             drop(dir);
 
-            match result {
-                Err(RunError(code)) => {
-                    debug_assert_eq!(code, OLD_SEE_NEW);
-                    self.new_blk.put_back(blk);
-                    self.esys.abort_op();
+            match result? {
+                Outcome::NeedSplit => OpStep::restart_after(move || self.split(h)),
+                Outcome::InPlace(updated) => {
+                    let mut fx = CommitEffects::of(false).keep_prealloc();
+                    if self.blocks_are_large() {
+                        // The updated block may have been eagerly
+                        // persisted and skipped by the flusher:
+                        // re-track so the new value reaches media.
+                        fx = fx.track(updated);
+                    }
+                    OpStep::commit(fx)
                 }
-                Ok(Outcome::NeedSplit) => {
-                    self.new_blk.put_back(blk);
-                    self.esys.abort_op();
-                    self.split(h);
+                Outcome::Replaced(old) => OpStep::commit(self.persist_effect(
+                    CommitEffects::of(false).retire(old),
+                    blk,
+                    hot,
+                )),
+                Outcome::Inserted => {
+                    OpStep::commit(self.persist_effect(CommitEffects::of(true), blk, hot))
                 }
-                Ok(outcome) => {
-                    let inserted = match outcome {
-                        Outcome::InPlace(updated) => {
-                            self.new_blk.put_back(blk);
-                            if self.blocks_are_large() {
-                                // The updated block may have been eagerly
-                                // persisted and skipped by the flusher:
-                                // re-track so the new value reaches media.
-                                self.esys.p_track(updated);
-                            }
-                            false
-                        }
-                        Outcome::Replaced(old) => {
-                            self.esys.p_retire(old);
-                            self.persist_policy(blk, hot);
-                            false
-                        }
-                        Outcome::Inserted => {
-                            self.persist_policy(blk, hot);
-                            true
-                        }
-                        _ => unreachable!(),
-                    };
-                    self.esys.end_op();
-                    return inserted;
-                }
+                _ => unreachable!(),
             }
-        }
+        })
     }
 
     /// Removes `key`. Returns `true` if present.
     pub fn remove(&self, key: u64) -> bool {
         let h = hash64(key);
         self.hotspot.touch(h);
-        loop {
-            let op_epoch = self.esys.begin_op();
+        run_op(&self.esys, None, |op| {
+            let op_epoch = op.epoch();
             let dir = self.dir.read();
             let seg = Arc::clone(&dir.segments[(h & ((1 << dir.global_depth) - 1)) as usize]);
             let bucket = Self::bucket_of(h);
@@ -291,23 +274,12 @@ impl BdSpash {
                 }
             });
             drop(dir);
-            match result {
-                Err(RunError(code)) => {
-                    debug_assert_eq!(code, OLD_SEE_NEW);
-                    self.esys.abort_op();
-                }
-                Ok(Outcome::Absent) => {
-                    self.esys.end_op();
-                    return false;
-                }
-                Ok(Outcome::Removed(blk)) => {
-                    self.esys.p_retire(blk);
-                    self.esys.end_op();
-                    return true;
-                }
-                Ok(_) => unreachable!(),
+            match result? {
+                Outcome::Absent => OpStep::commit(CommitEffects::of(false)),
+                Outcome::Removed(blk) => OpStep::commit(CommitEffects::of(true).retire(blk)),
+                _ => unreachable!(),
             }
-        }
+        })
     }
 
     /// The first value word of `key`, if present.
@@ -514,6 +486,9 @@ impl BdSpash {
         Ok(())
     }
 }
+
+bdhtm_core::impl_bdl_kv!(BdSpash, name: "bd-spash", tag: BDSPASH_KV_TAG,
+    new: BdSpash::new, recover: BdSpash::recover);
 
 #[cfg(test)]
 mod tests {

@@ -7,7 +7,10 @@
 //! classify / defer-persist protocol.
 
 use crate::hash64;
-use bdhtm_core::{payload, EpochSys, LiveBlock, PreallocSlots, UpdateKind, OLD_SEE_NEW};
+use bdhtm_core::{
+    payload, run_op, CommitEffects, EpochSys, LiveBlock, OpStep, PreallocSlots, UpdateKind,
+    KV_UNIVERSE_BITS, OLD_SEE_NEW,
+};
 use htm_sim::{FallbackLock, Htm, MemAccess, RunError, TxResult};
 use nvm_sim::NvmAddr;
 use persist_alloc::Header;
@@ -55,7 +58,7 @@ pub struct BdhtHashMap {
 }
 
 impl BdhtHashMap {
-    /// Creates a table with `n_buckets` buckets of [`BUCKET_SIZE`] slots.
+    /// Creates a table with `n_buckets` buckets of `BUCKET_SIZE` slots.
     pub fn new(n_buckets: usize, esys: Arc<EpochSys>, htm: Arc<Htm>) -> Self {
         assert!(n_buckets.is_power_of_two());
         Self {
@@ -121,10 +124,9 @@ impl BdhtHashMap {
     /// for a growable table.
     pub fn insert(&self, key: u64, value: u64) -> bool {
         let heap = self.esys.heap();
-        loop {
+        run_op(&self.esys, Some(&self.new_blk), |op| {
             // retry_regist:
-            let op_epoch = self.esys.begin_op();
-            let blk = self.new_blk.take(&self.esys); // epoch reset to INVALID
+            let (blk, op_epoch) = (op.blk(), op.epoch());
             heap.word(payload(blk, P_KEY)).store(key, Ordering::Release);
             heap.word(payload(blk, P_VAL))
                 .store(value, Ordering::Release);
@@ -161,49 +163,29 @@ impl BdhtHashMap {
                 }
             });
 
+            // op_done:
             match result {
-                Err(RunError(code)) if code == TABLE_FULL => {
-                    self.new_blk.put_back(blk);
-                    self.esys.abort_op();
+                Err(RunError(code)) if code == TABLE_FULL => OpStep::restart_after(|| {
                     panic!(
                         "Listing-1 table is full (fixed capacity; use BdSpash \
                          for a growable table)"
-                    );
+                    )
+                }),
+                Err(e) => Err(e),
+                Ok(Outcome::InPlace) => OpStep::commit(CommitEffects::of(false).keep_prealloc()),
+                Ok(Outcome::Replaced(old)) => {
+                    OpStep::commit(CommitEffects::of(false).retire(old).track(blk))
                 }
-                Err(RunError(code)) => {
-                    debug_assert_eq!(code, OLD_SEE_NEW);
-                    self.new_blk.put_back(blk);
-                    self.esys.abort_op();
-                }
-                Ok(outcome) => {
-                    // op_done:
-                    let inserted = match outcome {
-                        Outcome::InPlace => {
-                            self.new_blk.put_back(blk);
-                            false
-                        }
-                        Outcome::Replaced(old) => {
-                            self.esys.p_retire(old);
-                            self.esys.p_track(blk);
-                            false
-                        }
-                        Outcome::Inserted => {
-                            self.esys.p_track(blk);
-                            true
-                        }
-                        _ => unreachable!(),
-                    };
-                    self.esys.end_op();
-                    return inserted;
-                }
+                Ok(Outcome::Inserted) => OpStep::commit(CommitEffects::of(true).track(blk)),
+                Ok(_) => unreachable!(),
             }
-        }
+        })
     }
 
     /// Removes `key`. Returns `true` if it was present.
     pub fn remove(&self, key: u64) -> bool {
-        loop {
-            let op_epoch = self.esys.begin_op();
+        run_op(&self.esys, None, |op| {
+            let op_epoch = op.epoch();
             let result = self.htm.run(&self.lock, |m| {
                 let (found, _) = self.locate(m, key)?;
                 match found {
@@ -218,23 +200,12 @@ impl BdhtHashMap {
                     }
                 }
             });
-            match result {
-                Err(RunError(code)) => {
-                    debug_assert_eq!(code, OLD_SEE_NEW);
-                    self.esys.abort_op();
-                }
-                Ok(Outcome::Absent) => {
-                    self.esys.end_op();
-                    return false;
-                }
-                Ok(Outcome::Removed(blk)) => {
-                    self.esys.p_retire(blk);
-                    self.esys.end_op();
-                    return true;
-                }
-                Ok(_) => unreachable!(),
+            match result? {
+                Outcome::Absent => OpStep::commit(CommitEffects::of(false)),
+                Outcome::Removed(blk) => OpStep::commit(CommitEffects::of(true).retire(blk)),
+                _ => unreachable!(),
             }
-        }
+        })
     }
 
     /// The value of `key`, if present.
@@ -292,7 +263,70 @@ impl BdhtHashMap {
     pub fn drain_preallocated(&self) {
         self.new_blk.drain(&self.esys);
     }
+
+    /// Structural invariant check (call while quiescent):
+    ///
+    /// * every occupied slot holds an allocated block tagged
+    ///   [`LISTING1_KV_TAG`] with a valid (claimed, not-from-the-future)
+    ///   epoch;
+    /// * the slot lies within the `MAX_PROBE` window of the bucket the
+    ///   block's key hashes to;
+    /// * no key and no block appears twice.
+    pub fn validate(&self) -> Result<(), String> {
+        use persist_alloc::BlockState;
+        use std::collections::HashSet;
+        let heap = self.esys.heap();
+        let clock = self.esys.current_epoch();
+        let mut keys: HashSet<u64> = HashSet::new();
+        let mut blocks: HashSet<u64> = HashSet::new();
+        for idx in 0..self.slots.len() {
+            let raw = self.slots[idx].load(Ordering::Acquire);
+            if raw == 0 {
+                continue;
+            }
+            let blk = NvmAddr(raw);
+            match Header::state(heap, blk) {
+                Some((BlockState::Allocated, _)) => {}
+                other => {
+                    return Err(format!(
+                        "slot {idx}: block {blk:?} not allocated ({other:?})"
+                    ))
+                }
+            }
+            let tag = Header::tag(heap, blk);
+            if tag != LISTING1_KV_TAG {
+                return Err(format!(
+                    "slot {idx}: block {blk:?} has foreign tag {tag:#x}"
+                ));
+            }
+            let be = Header::epoch(heap, blk);
+            if be == persist_alloc::INVALID_EPOCH || be > clock {
+                return Err(format!(
+                    "slot {idx}: block {blk:?} carries invalid epoch {be} (clock {clock})"
+                ));
+            }
+            let key = heap.word(payload(blk, P_KEY)).load(Ordering::Acquire);
+            let start = (hash64(key) as usize) & (self.n_buckets - 1);
+            let dist = (idx / BUCKET_SIZE + self.n_buckets - start) & (self.n_buckets - 1);
+            if dist >= MAX_PROBE {
+                return Err(format!(
+                    "key {key} stored {dist} buckets past its home (probe window {MAX_PROBE})"
+                ));
+            }
+            if !keys.insert(key) {
+                return Err(format!("key {key} present twice"));
+            }
+            if !blocks.insert(raw) {
+                return Err(format!("block {blk:?} referenced twice"));
+            }
+        }
+        Ok(())
+    }
 }
+
+bdhtm_core::impl_bdl_kv!(BdhtHashMap, name: "listing1-bdht", tag: LISTING1_KV_TAG,
+    new: |esys, htm| BdhtHashMap::new(1 << KV_UNIVERSE_BITS, esys, htm),
+    recover: |esys, htm, live| BdhtHashMap::recover(1 << KV_UNIVERSE_BITS, esys, htm, live));
 
 #[cfg(test)]
 mod tests {

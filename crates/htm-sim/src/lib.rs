@@ -11,7 +11,7 @@
 //!
 //! * **Atomicity and isolation** of transactional word accesses, at
 //!   cache-line conflict granularity (line index derived from the *real*
-//!   address of the accessed [`AtomicU64`], so false sharing is physical).
+//!   address of the accessed `AtomicU64`, so false sharing is physical).
 //! * **Best-effort aborts** with TSX-like causes: conflict, capacity
 //!   (write set limited to an L1-sized number of lines; read set to a
 //!   larger, Bloom-filter-like bound), explicit `xabort(code)`, spurious

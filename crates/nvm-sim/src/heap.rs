@@ -180,7 +180,7 @@ impl NvmHeap {
         NvmAddr(ROOT_WORDS)
     }
 
-    /// One of the [`ROOT_WORDS`] reserved root slots (recovery anchors).
+    /// One of the `ROOT_WORDS` reserved root slots (recovery anchors).
     pub fn root(&self, i: u64) -> NvmAddr {
         assert!(i < ROOT_WORDS, "root slot out of range");
         NvmAddr(i)

@@ -9,9 +9,12 @@
 //! the background.
 
 use crate::{random_level, MAX_LEVEL};
-use bdhtm_core::{payload, EpochSys, LiveBlock, PreallocSlots, UpdateKind, OLD_SEE_NEW};
+use bdhtm_core::{
+    payload, run_op, CommitEffects, EpochSys, LiveBlock, OpStep, PreallocSlots, UpdateKind,
+    OLD_SEE_NEW,
+};
 use htm_sim::ebr;
-use htm_sim::{thread_id, FallbackLock, Htm, MemAccess, RunError, TxResult};
+use htm_sim::{thread_id, FallbackLock, Htm, MemAccess, TxResult};
 use nvm_sim::NvmAddr;
 use persist_alloc::Header;
 use std::cell::Cell;
@@ -171,14 +174,15 @@ impl BdlSkiplist {
         let guard = ebr::pin();
         let heap = self.esys.heap();
         let mut tower: Option<Box<Tower>> = None;
-        'op: loop {
-            let op_epoch = self.esys.begin_op();
-            let blk = self.new_blk.take(&self.esys); // epoch reset to INVALID
+        let inserted = run_op(&self.esys, Some(&self.new_blk), |op| {
+            let (blk, op_epoch) = (op.blk(), op.epoch());
             heap.word(payload(blk, P_KEY)).store(key, Ordering::Release);
             heap.word(payload(blk, P_VAL))
                 .store(value, Ordering::Release);
             Header::set_tag(heap, blk, SKIP_KV_TAG);
 
+            // Window-validation failures retry the search under the
+            // same registration; only OLD_SEE_NEW re-registers.
             'find: loop {
                 let (preds, succs, found) = self.find(key);
                 let outcome = if let Some(node_ptr) = found {
@@ -233,49 +237,32 @@ impl BdlSkiplist {
                     r
                 };
 
-                match outcome {
-                    Err(RunError(code)) => {
-                        debug_assert_eq!(code, OLD_SEE_NEW);
-                        self.new_blk.put_back(blk);
-                        self.esys.abort_op();
-                        continue 'op;
+                return match outcome? {
+                    WriteOutcome::Validate => continue 'find,
+                    WriteOutcome::Linked => OpStep::commit(CommitEffects::of(true).track(blk)),
+                    WriteOutcome::InPlace => {
+                        OpStep::commit(CommitEffects::of(false).keep_prealloc())
                     }
-                    Ok(WriteOutcome::Validate) => continue 'find,
-                    Ok(WriteOutcome::Linked) => {
-                        self.esys.p_track(blk);
-                        self.esys.end_op();
-                        drop(guard);
-                        return true;
+                    WriteOutcome::Replaced(old) => {
+                        OpStep::commit(CommitEffects::of(false).retire(old).track(blk))
                     }
-                    Ok(WriteOutcome::InPlace) => {
-                        self.new_blk.put_back(blk);
-                        self.esys.end_op();
-                        drop(guard);
-                        return false;
-                    }
-                    Ok(WriteOutcome::Replaced(old)) => {
-                        self.esys.p_retire(old);
-                        self.esys.p_track(blk);
-                        self.esys.end_op();
-                        drop(guard);
-                        return false;
-                    }
-                    Ok(_) => unreachable!("insert produced an unexpected outcome"),
-                }
+                    _ => unreachable!("insert produced an unexpected outcome"),
+                };
             }
-        }
+        });
+        drop(guard);
+        inserted
     }
 
     /// Removes `key`. Returns `true` if it was present.
     pub fn remove(&self, key: u64) -> bool {
         let guard = ebr::pin();
-        'op: loop {
-            let op_epoch = self.esys.begin_op();
+        let removed = run_op(&self.esys, None, |op| {
+            let op_epoch = op.epoch();
             'find: loop {
                 let (preds, _succs, found) = self.find(key);
                 let Some(node_ptr) = found else {
-                    self.esys.end_op();
-                    return false;
+                    return OpStep::commit(CommitEffects::of(None));
                 };
                 let node = unsafe { self.tower(node_ptr) };
                 let levels = node.level;
@@ -301,27 +288,29 @@ impl BdlSkiplist {
                     }
                     Ok(WriteOutcome::Removed(blk))
                 });
-                match r {
-                    Err(RunError(code)) => {
-                        debug_assert_eq!(code, OLD_SEE_NEW);
-                        self.esys.abort_op();
-                        continue 'op;
+                return match r? {
+                    WriteOutcome::Validate => continue 'find,
+                    WriteOutcome::Removed(blk) => {
+                        OpStep::commit(CommitEffects::of(Some(node_ptr)).retire(blk))
                     }
-                    Ok(WriteOutcome::Validate) => continue 'find,
-                    Ok(WriteOutcome::Removed(blk)) => {
-                        self.esys.p_retire(blk);
-                        self.esys.end_op();
-                        // Defer the DRAM tower until readers drain.
-                        unsafe {
-                            guard.defer_unchecked(move || {
-                                drop(Box::from_raw(node_ptr as *mut Tower));
-                            });
-                        }
-                        drop(guard);
-                        return true;
-                    }
-                    Ok(_) => unreachable!("remove produced an unexpected outcome"),
+                    _ => unreachable!("remove produced an unexpected outcome"),
+                };
+            }
+        });
+        match removed {
+            Some(node_ptr) => {
+                // Defer the DRAM tower until readers drain.
+                unsafe {
+                    guard.defer_unchecked(move || {
+                        drop(Box::from_raw(node_ptr as *mut Tower));
+                    });
                 }
+                drop(guard);
+                true
+            }
+            None => {
+                drop(guard);
+                false
             }
         }
     }
@@ -596,6 +585,10 @@ impl BdlSkiplist {
         Ok(())
     }
 }
+
+bdhtm_core::impl_bdl_kv!(BdlSkiplist, name: "bdl-skiplist", tag: SKIP_KV_TAG,
+    new: BdlSkiplist::new,
+    recover: |esys, htm, live| BdlSkiplist::recover(esys, htm, live, 1));
 
 impl Drop for BdlSkiplist {
     fn drop(&mut self) {

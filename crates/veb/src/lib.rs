@@ -16,9 +16,10 @@
 //!   strategy), including the non-transactional "pre-walk" mitigation
 //!   for MEMTYPE aborts and full post-crash index reconstruction.
 //!
-//! Both trees share the transactional index implementation in
-//! [`index`]: the classic cluster/summary recursion with 64-way bitmap
-//! leaves, lazy node creation, and abort-safe node recycling.
+//! Both trees share the transactional index implementation in the
+//! private `index` module: the classic cluster/summary recursion with
+//! 64-way bitmap leaves, lazy node creation, and abort-safe node
+//! recycling.
 
 mod htm_veb;
 mod index;

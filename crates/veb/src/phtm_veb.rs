@@ -9,8 +9,11 @@
 //! crash, the index is rebuilt by scanning the live KV blocks.
 
 use crate::index::{AllocCtx, VebIndex};
-use bdhtm_core::{payload, EpochSys, LiveBlock, PreallocSlots, UpdateKind, OLD_SEE_NEW};
-use htm_sim::{AbortCause, FallbackLock, Htm, MemAccess, RunError};
+use bdhtm_core::{
+    payload, run_op, CommitEffects, EpochSys, LiveBlock, OpStep, PreallocSlots, UpdateKind,
+    KV_UNIVERSE_BITS, OLD_SEE_NEW,
+};
+use htm_sim::{AbortCause, FallbackLock, Htm, MemAccess};
 use nvm_sim::NvmAddr;
 use persist_alloc::Header;
 use std::sync::atomic::Ordering;
@@ -93,11 +96,9 @@ impl PhtmVeb {
     /// durable once its epoch is two behind the clock.
     pub fn insert(&self, key: u64, value: u64) -> bool {
         let heap = self.esys.heap();
-        loop {
-            // retry_regist (Listing 1 line 7)
-            let op_epoch = self.esys.begin_op();
-            let blk = self.new_blk.take(&self.esys); // epoch reset to INVALID
-                                                     // Initialize the (private) block: key and value.
+        run_op(&self.esys, Some(&self.new_blk), |op| {
+            let (blk, op_epoch) = (op.blk(), op.epoch());
+            // Initialize the (private) block: key and value.
             heap.word(payload(blk, P_KEY)).store(key, Ordering::Release);
             heap.word(payload(blk, P_VAL))
                 .store(value, Ordering::Release);
@@ -133,45 +134,32 @@ impl PhtmVeb {
                 },
                 self.hook(key),
             );
-
             match result {
-                Err(RunError(code)) => {
-                    debug_assert_eq!(code, OLD_SEE_NEW);
-                    // Restart in a newer epoch (Listing 1 lines 39–41).
+                Err(e) => {
+                    // Any DRAM nodes speculatively allocated by the failed
+                    // attempt must be recycled before the retry.
                     self.index.recycle_attempt(&ctx);
-                    self.new_blk.put_back(blk);
-                    self.esys.abort_op();
+                    Err(e)
                 }
                 Ok(outcome) => {
                     self.index.commit_attempt(&ctx);
-                    let inserted = match outcome {
-                        WriteOutcome::InPlace => {
-                            // Preallocated block unused; keep it.
-                            self.new_blk.put_back(blk);
-                            false
-                        }
+                    OpStep::commit(match outcome {
+                        WriteOutcome::InPlace => CommitEffects::of(false).keep_prealloc(),
                         WriteOutcome::Replaced(old) => {
-                            self.esys.p_retire(old);
-                            self.esys.p_track(blk);
-                            false
+                            CommitEffects::of(false).retire(old).track(blk)
                         }
-                        WriteOutcome::Inserted => {
-                            self.esys.p_track(blk);
-                            true
-                        }
-                    };
-                    self.esys.end_op();
-                    return inserted;
+                        WriteOutcome::Inserted => CommitEffects::of(true).track(blk),
+                    })
                 }
             }
-        }
+        })
     }
 
     /// Removes `key`. Returns `true` if it was present.
     pub fn remove(&self, key: u64) -> bool {
-        loop {
-            let op_epoch = self.esys.begin_op();
-            let result = self.htm.run_hooked(
+        run_op(&self.esys, None, |op| {
+            let op_epoch = op.epoch();
+            let removed = self.htm.run_hooked(
                 &self.lock,
                 &mut |m: &mut dyn MemAccess| {
                     match self.index.get_tx(m, key)? {
@@ -190,23 +178,12 @@ impl PhtmVeb {
                     }
                 },
                 self.hook(key),
-            );
-            match result {
-                Err(RunError(code)) => {
-                    debug_assert_eq!(code, OLD_SEE_NEW);
-                    self.esys.abort_op();
-                }
-                Ok(None) => {
-                    self.esys.end_op();
-                    return false;
-                }
-                Ok(Some(blk)) => {
-                    self.esys.p_retire(blk);
-                    self.esys.end_op();
-                    return true;
-                }
-            }
-        }
+            )?;
+            OpStep::commit(match removed {
+                None => CommitEffects::of(false),
+                Some(blk) => CommitEffects::of(true).retire(blk),
+            })
+        })
     }
 
     /// The value of `key`, if present. Reads the KV block from NVM inside
@@ -405,6 +382,13 @@ impl PhtmVeb {
         }
     }
 }
+
+// The generic BDL face: fault sweeps, benches, and the conformance
+// suite drive PHTM-vEB through this impl with a `KV_UNIVERSE_BITS`
+// universe and single-threaded recovery.
+bdhtm_core::impl_bdl_kv!(PhtmVeb, name: "phtm-veb", tag: VEB_KV_TAG,
+    new: |esys, htm| PhtmVeb::new(KV_UNIVERSE_BITS, esys, htm),
+    recover: |esys, htm, live| PhtmVeb::recover(KV_UNIVERSE_BITS, esys, htm, live, 1));
 
 #[cfg(test)]
 mod tests {

@@ -19,7 +19,7 @@
 //! | [`htm_sim`] | best-effort HTM: TL2-style transactions, TSX abort causes, fallback-lock elision |
 //! | [`nvm_sim`] | NVM heap: volatile/media split, `clwb`/fence, crash + eviction injection, eADR mode, Optane cost model |
 //! | [`persist_alloc`] | recoverable segregated-fit NVM allocator (Ralloc's role) |
-//! | [`bdhtm_core`] | **the paper's contribution**: the HTM-compatible buffered-durability epoch system (Table 2 API, Listing 1 protocol, §5.2 recovery) |
+//! | [`bdhtm_core`] | **the paper's contribution**: the HTM-compatible buffered-durability epoch system (Table 2 API, §5.2 recovery), plus the shared Listing-1 operation lifecycle (`run_op`/`OpGuard`/`CommitEffects`) and the `BdlKv` structure trait |
 //! | [`mwcas`] | Mw-WR / MwCAS / HTM-MwCAS / PMwCAS (Fig. 4) |
 //! | [`veb`] | HTM-vEB and buffered-durable PHTM-vEB trees (§4.1) |
 //! | [`skiplist`] | strictly durable DL-Skiplist, BDL-Skiplist, and the Fig. 5 ablations (§4.2) |
@@ -70,7 +70,10 @@ pub use ycsb_gen;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use bdhtm_core::{EpochConfig, EpochSys, EpochTicker, LiveBlock, UpdateKind};
+    pub use bdhtm_core::{
+        run_op, BdlKv, CommitEffects, EpochConfig, EpochSys, EpochTicker, LiveBlock, OpGuard,
+        OpStep, UpdateKind, KV_UNIVERSE_BITS,
+    };
     pub use btree::{ElimAbTree, LbTree, OccAbTree};
     pub use fault::{SweepConfig, SweepReport, SweepTarget};
     pub use hashtable::{BdSpash, BdhtHashMap, Cceh, Plush, Spash};

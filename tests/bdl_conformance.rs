@@ -1,0 +1,168 @@
+//! The generic BDL conformance suite: one set of property tests,
+//! instantiated for every [`BdlKv`] structure.
+//!
+//! Each structure module runs the same two checks:
+//!
+//! * **Oracle conformance** — a seeded mixed workload (inserts, removes,
+//!   gets, epoch advances, random cache-line evictions) must agree with
+//!   a `std` reference model at every step, and the structure's own
+//!   invariants must hold at the end.
+//! * **Durable prefix** — the central BDL guarantee (§2.1): crash a
+//!   single-threaded logged history at an arbitrary point, recover, and
+//!   the recovered state must equal the replay of *exactly* those
+//!   operations whose epoch is at or below the persisted frontier `R`.
+//!
+//! Adding a structure to the repo means implementing `BdlKv` and adding
+//! one `conformance_suite!` line here.
+
+use bd_htm::prelude::*;
+use htm_sim::SplitMix64;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn substrate(bytes: usize) -> (Arc<NvmHeap>, Arc<EpochSys>, Arc<Htm>) {
+    let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(bytes)));
+    let esys = EpochSys::format(Arc::clone(&heap), EpochConfig::default());
+    (heap, esys, Arc::new(Htm::new(HtmConfig::default())))
+}
+
+/// Seeded mixed workload against a `HashMap` oracle, with epoch
+/// advances and adversarial cache-replacement interleaved.
+fn oracle_conformance<T: BdlKv>() {
+    const CASES: u64 = 8;
+    for case in 0..CASES {
+        let seed = 0xC0F0_0000 + case;
+        let mut rng = SplitMix64::new(seed);
+        let (heap, esys, htm) = substrate(32 << 20);
+        let t = T::new(Arc::clone(&esys), htm);
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..1500 {
+            if rng.next_below(97) == 0 {
+                esys.advance();
+            }
+            if rng.next_below(53) == 0 {
+                heap.evict_random_lines(4, rng.next_u64());
+            }
+            let key = 1 + rng.next_below((1 << KV_UNIVERSE_BITS) - 1);
+            match rng.next_below(4) {
+                0 | 1 => {
+                    let v = rng.next_u64();
+                    assert_eq!(
+                        t.insert(key, v),
+                        oracle.insert(key, v).is_none(),
+                        "{} seed {seed}: insert({key})",
+                        T::NAME
+                    );
+                }
+                2 => assert_eq!(
+                    t.remove(key),
+                    oracle.remove(&key).is_some(),
+                    "{} seed {seed}: remove({key})",
+                    T::NAME
+                ),
+                _ => assert_eq!(
+                    t.get(key),
+                    oracle.get(&key).copied(),
+                    "{} seed {seed}: get({key})",
+                    T::NAME
+                ),
+            }
+        }
+        t.validate()
+            .unwrap_or_else(|e| panic!("{} seed {seed}: validate: {e}", T::NAME));
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum LoggedOp {
+    Insert(u64, u64),
+    Remove(u64),
+}
+
+/// Crash a logged single-threaded history, recover, and check the
+/// recovered state is the exact `R`-prefix replay.
+fn durable_prefix<T: BdlKv>() {
+    const KEYS: u64 = 256;
+    for crash_after in [40usize, 333, 900] {
+        let (heap, esys, htm) = substrate(32 << 20);
+        let t = T::new(Arc::clone(&esys), htm);
+
+        let mut rng = SplitMix64::new(0xD0B0 + crash_after as u64);
+        let mut log: Vec<(u64, LoggedOp)> = Vec::new();
+        for _ in 0..crash_after {
+            if rng.next_below(97) == 0 {
+                esys.advance();
+            }
+            if rng.next_below(53) == 0 {
+                heap.evict_random_lines(8, rng.next_u64());
+            }
+            let e = esys.current_epoch();
+            let key = 1 + rng.next_below(KEYS);
+            if rng.next_below(3) == 0 {
+                t.remove(key);
+                log.push((e, LoggedOp::Remove(key)));
+            } else {
+                let v = rng.next_u64();
+                t.insert(key, v);
+                log.push((e, LoggedOp::Insert(key, v)));
+            }
+        }
+
+        // Crash and recover.
+        let heap2 = Arc::new(NvmHeap::from_image(heap.crash()));
+        let (esys2, live) = EpochSys::recover(heap2, EpochConfig::default(), 1);
+        let r = esys2.persisted_frontier();
+        let t2 = T::recover(esys2, Arc::new(Htm::new(HtmConfig::default())), &live);
+        t2.validate()
+            .unwrap_or_else(|e| panic!("{} crash_after={crash_after}: validate: {e}", T::NAME));
+
+        // Replay exactly the ops with epoch <= R. A single-threaded
+        // history's later epochs are a strict suffix, so stop at the
+        // first too-new epoch.
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for (e, op) in &log {
+            if *e > r {
+                break;
+            }
+            match op {
+                LoggedOp::Insert(k, v) => {
+                    oracle.insert(*k, *v);
+                }
+                LoggedOp::Remove(k) => {
+                    oracle.remove(k);
+                }
+            }
+        }
+        for key in 1..=KEYS {
+            assert_eq!(
+                t2.get(key),
+                oracle.get(&key).copied(),
+                "{} crash_after={crash_after}, R={r}: key {key} diverges from the durable prefix",
+                T::NAME
+            );
+        }
+    }
+}
+
+macro_rules! conformance_suite {
+    ($mod_name:ident, $ty:ty) => {
+        mod $mod_name {
+            use super::*;
+
+            #[test]
+            fn matches_oracle_with_epochs_and_evictions() {
+                oracle_conformance::<$ty>();
+            }
+
+            #[test]
+            fn crash_recovers_exactly_the_durable_prefix() {
+                durable_prefix::<$ty>();
+            }
+        }
+    };
+}
+
+conformance_suite!(phtm_veb, PhtmVeb);
+conformance_suite!(bdl_skiplist, BdlSkiplist);
+conformance_suite!(bd_spash, BdSpash);
+conformance_suite!(listing1_bdht, BdhtHashMap);

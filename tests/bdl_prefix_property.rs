@@ -4,94 +4,13 @@
 //! the operations whose epochs are at or below the persisted frontier.
 
 use bd_htm::prelude::*;
-use std::collections::HashMap;
 use std::sync::Arc;
 
-#[derive(Clone, Copy, Debug)]
-enum LoggedOp {
-    Insert(u64, u64),
-    Remove(u64),
-}
-
-/// Runs a deterministic single-threaded history with interleaved epoch
-/// advances and random crash points, and checks the recovered state is
-/// the exact R-prefix replay.
-#[test]
-fn recovered_state_is_exactly_the_durable_prefix() {
-    for crash_after in [50usize, 333, 777, 1500, 2999] {
-        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(32 << 20)));
-        let esys = EpochSys::format(heap, EpochConfig::default());
-        let htm = Arc::new(Htm::new(HtmConfig::default()));
-        let map = BdhtHashMap::new(1 << 9, Arc::clone(&esys), htm);
-
-        let mut log: Vec<(u64, LoggedOp)> = Vec::new();
-        let mut rng = 0xA5A5_0000u64 + crash_after as u64;
-        let mut next = move || {
-            rng ^= rng >> 12;
-            rng ^= rng << 25;
-            rng ^= rng >> 27;
-            rng.wrapping_mul(0x2545_F491_4F6C_DD1D)
-        };
-        for i in 0..3000usize {
-            if i == crash_after {
-                break;
-            }
-            if next() % 97 == 0 {
-                esys.advance();
-            }
-            // Adversarial cache-replacement order.
-            if next() % 53 == 0 {
-                esys.heap().evict_random_lines(8, next());
-            }
-            let e = esys.current_epoch();
-            let key = next() % 256;
-            if next() % 3 == 0 {
-                map.remove(key);
-                log.push((e, LoggedOp::Remove(key)));
-            } else {
-                let v = next();
-                map.insert(key, v);
-                log.push((e, LoggedOp::Insert(key, v)));
-            }
-        }
-
-        // Crash and recover.
-        let heap2 = Arc::new(NvmHeap::from_image(esys.heap().crash()));
-        let (esys2, live) = EpochSys::recover(heap2, EpochConfig::default(), 1);
-        let r = esys2.persisted_frontier();
-        let map2 = BdhtHashMap::recover(
-            1 << 9,
-            esys2,
-            Arc::new(Htm::new(HtmConfig::default())),
-            &live,
-        );
-
-        // Replay exactly the ops with epoch <= R.
-        let mut oracle: HashMap<u64, u64> = HashMap::new();
-        for (e, op) in &log {
-            if *e > r {
-                // Single-threaded history: later epochs are a strict
-                // suffix, so we can stop at the first too-new epoch.
-                break;
-            }
-            match op {
-                LoggedOp::Insert(k, v) => {
-                    oracle.insert(*k, *v);
-                }
-                LoggedOp::Remove(k) => {
-                    oracle.remove(k);
-                }
-            }
-        }
-        for key in 0..256u64 {
-            assert_eq!(
-                map2.get(key),
-                oracle.get(&key).copied(),
-                "crash_after={crash_after}, R={r}: key {key} diverges from the durable prefix"
-            );
-        }
-    }
-}
+// The single-threaded exact-prefix check that used to live here is now
+// part of the generic `BdlKv` conformance suite
+// (`tests/bdl_conformance.rs`), which runs it for every structure. This
+// file keeps the concurrent variant, whose shared-map multi-writer
+// history the single-threaded suite cannot express.
 
 /// Multi-threaded variant: per-key monotone counters. After a crash, each
 /// recovered value must be one the key actually held in a durable epoch,
