@@ -25,6 +25,10 @@ for ex in quickstart kv_store ordered_index crash_recovery; do
     cargo run --release -q --example "$ex"
 done
 
+echo "==> metrics smoke (quickstart --metrics-json + validation)"
+cargo run --release -q --example quickstart -- --metrics-json target/metrics-smoke.json
+./target/release/metrics_check target/metrics-smoke.json
+
 echo "==> fault sweep digest (behavior-preservation pin)"
 DIGEST="$(FAULT_SEED=0xBD15EED ./target/release/fault_sweep --digest)"
 EXPECTED="0xc80ad7894b7a0701"

@@ -29,6 +29,9 @@ fn main() {
     let ubits = 26 - scale_down_bits();
     let threads = thread_counts();
     let w = WorkloadSpec::uniform(1 << ubits, Mix::write_heavy()).build();
+    // --metrics-json captures the last configuration run (1 µs epochs,
+    // final thread count) — the epoch-churn extreme.
+    let mut sink = MetricsSink::from_args();
     println!("# Ablation: PHTM-vEB overhead decomposition, universe 2^{ubits} (Mops/s)");
     header("configuration", &threads);
 
@@ -64,11 +67,10 @@ fn main() {
         for &t in &threads {
             let heap = Arc::new(NvmHeap::new(cfg.clone()));
             let esys = EpochSys::format(heap, EpochConfig::default().with_epoch_len(epoch));
-            let tree = Arc::new(PhtmVeb::new(
-                ubits,
-                Arc::clone(&esys),
-                Arc::new(Htm::new(HtmConfig::default())),
-            ));
+            let htm = Arc::new(Htm::new(HtmConfig::default()));
+            sink.attach_htm(&htm);
+            sink.attach_esys(&esys);
+            let tree = Arc::new(PhtmVeb::new(ubits, Arc::clone(&esys), htm));
             let b: Arc<dyn KvBackend> = tree;
             prefill(b.as_ref(), &w);
             let ticker = EpochTicker::spawn(esys);
@@ -77,4 +79,5 @@ fn main() {
         }
         row(label, &vals);
     }
+    sink.write();
 }

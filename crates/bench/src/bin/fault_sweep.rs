@@ -98,6 +98,17 @@ fn main() {
                 if report.failures.len() > 5 {
                     eprintln!("  ... and {} more", report.failures.len() - 5);
                 }
+                // The flight recorder of the first failing replay: the
+                // last lifecycle events leading up to the crash point.
+                if !report.flight_dump.is_empty() {
+                    eprintln!(
+                        "  flight recorder (last {} events before the first failure):",
+                        report.flight_dump.len()
+                    );
+                    for line in &report.flight_dump {
+                        eprintln!("    {line}");
+                    }
+                }
             }
         }
     }

@@ -19,6 +19,9 @@ fn main() {
     let ubits = 26 - scale_down_bits();
     let threads = thread_counts();
     let universe = 1u64 << ubits;
+    // --metrics-json captures the last configuration run: the final
+    // thread count of the zipfian PHTM-vEB series.
+    let mut sink = MetricsSink::from_args();
     println!(
         "# Fig 1: HTM-vEB vs PHTM-vEB, write-heavy (80% writes), universe 2^{ubits}, epoch 50ms"
     );
@@ -56,6 +59,8 @@ fn main() {
                 EpochConfig::default().with_epoch_len(Duration::from_millis(50)),
             );
             let htm = Arc::new(Htm::new(HtmConfig::default()));
+            sink.attach_htm(&htm);
+            sink.attach_esys(&esys);
             let tree = Arc::new(PhtmVeb::new(ubits, Arc::clone(&esys), htm));
             let backend: Arc<dyn KvBackend> = Arc::clone(&tree) as _;
             prefill(backend.as_ref(), &w);
@@ -65,4 +70,5 @@ fn main() {
         }
         row(&format!("PHTM-vEB {dist_name}"), &vals);
     }
+    sink.write();
 }

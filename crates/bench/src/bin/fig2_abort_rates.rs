@@ -40,6 +40,9 @@ fn main() {
     let ubits = 26 - scale_down_bits();
     let universe = 1u64 << ubits;
     let threads = thread_counts();
+    // --metrics-json captures the last buffered-durable configuration
+    // (final thread count, zipfian PHTM-vEB).
+    let mut sink = MetricsSink::from_args();
     println!("# Fig 2: HTM commit/abort breakdown, universe 2^{ubits}");
 
     for (dist_name, spec) in [
@@ -73,6 +76,8 @@ fn main() {
                 EpochConfig::default().with_epoch_len(Duration::from_millis(50)),
             );
             let htm = Arc::new(Htm::new(HtmConfig::default()));
+            sink.attach_htm(&htm);
+            sink.attach_esys(&esys);
             let tree = Arc::new(PhtmVeb::new(ubits, Arc::clone(&esys), Arc::clone(&htm)));
             let backend: Arc<dyn KvBackend> = tree;
             prefill(backend.as_ref(), &w);
@@ -105,4 +110,5 @@ fn main() {
             &htm.stats().snapshot(),
         );
     }
+    sink.write();
 }

@@ -18,7 +18,7 @@ use std::time::Duration;
 use veb::PhtmVeb;
 use ycsb_gen::{Mix, Workload, WorkloadSpec};
 
-fn phtm_series(ubits: u32, w: &Workload, threads: &[usize]) -> Vec<f64> {
+fn phtm_series(ubits: u32, w: &Workload, threads: &[usize], sink: &mut MetricsSink) -> Vec<f64> {
     let mut vals = Vec::new();
     for &t in threads {
         let heap = Arc::new(NvmHeap::new(NvmConfig::optane(512 << 20)));
@@ -27,6 +27,8 @@ fn phtm_series(ubits: u32, w: &Workload, threads: &[usize]) -> Vec<f64> {
             EpochConfig::default().with_epoch_len(Duration::from_millis(50)),
         );
         let htm = Arc::new(Htm::new(HtmConfig::default()));
+        sink.attach_htm(&htm);
+        sink.attach_esys(&esys);
         let tree = Arc::new(PhtmVeb::new(ubits, Arc::clone(&esys), htm));
         let backend: Arc<dyn KvBackend> = tree;
         prefill(backend.as_ref(), w);
@@ -56,6 +58,9 @@ fn main() {
     let ubits = 26 - scale_down_bits();
     let universe = 1u64 << ubits;
     let threads = thread_counts();
+    // --metrics-json captures the last PHTM-vEB configuration run (the
+    // final thread count of the last quadrant).
+    let mut sink = MetricsSink::from_args();
     println!("# Fig 3: persistent trees, universe 2^{ubits} (Mops/s)");
 
     for (dist_name, zipf) in [("uniform", None), ("zipfian(0.99)", Some(0.99))] {
@@ -70,7 +75,7 @@ fn main() {
                 Some(theta) => WorkloadSpec::zipfian(universe, theta, mix),
             };
             let w = spec.build();
-            row("PHTM-vEB", &phtm_series(ubits, &w, &threads));
+            row("PHTM-vEB", &phtm_series(ubits, &w, &threads, &mut sink));
             row(
                 "LB+Tree",
                 &baseline_series(&w, &threads, |heap| {
@@ -91,4 +96,5 @@ fn main() {
             );
         }
     }
+    sink.write();
 }

@@ -8,7 +8,7 @@
 //! cargo run --release -p bench --bin fig4_mwcas
 //! ```
 
-use bench::secs_per_point;
+use bench::{secs_per_point, MetricsSink};
 use mwcas::{mw_write, HtmMwCas, MwCasPool, MwTarget};
 use nvm_sim::{NvmAddr, NvmConfig, NvmHeap, WORDS_PER_LINE};
 use std::sync::Arc;
@@ -57,6 +57,10 @@ fn main() {
     println!("{:<12} {:>9} {:>9} {:>9}", "mechanism", "k=2", "k=4", "k=8");
 
     let heap = Arc::new(NvmHeap::new(NvmConfig::optane(1 << 30)));
+    // --metrics-json captures NVM traffic only: this binary has no
+    // epoch system or shared HTM domain, so only the heap is attached.
+    let mut sink = MetricsSink::from_args();
+    sink.attach_heap(&heap);
     let pool = MwCasPool::new(Arc::clone(&heap));
     let htm = HtmMwCas::new(Arc::clone(&heap));
 
@@ -93,4 +97,5 @@ fn main() {
         }
         println!();
     }
+    sink.write();
 }

@@ -20,6 +20,9 @@ fn main() {
     let ubits = 20 - scale_down_bits() / 2;
     let universe = 1u64 << ubits;
     let threads = thread_counts();
+    // --metrics-json captures the last BDL-Skiplist configuration run
+    // (final thread count).
+    let mut sink = MetricsSink::from_args();
     println!("# Fig 5: skiplists, uniform, R:W=2:8, universe 2^{ubits} (Mops/s)");
     header("variant", &threads);
     let w = WorkloadSpec::uniform(universe, Mix::fig5()).build();
@@ -51,6 +54,8 @@ fn main() {
                 EpochConfig::default().with_epoch_len(Duration::from_millis(50)),
             );
             let htm = Arc::new(Htm::new(HtmConfig::default()));
+            sink.attach_htm(&htm);
+            sink.attach_esys(&esys);
             let list = Arc::new(BdlSkiplist::new(Arc::clone(&esys), htm));
             let backend: Arc<dyn KvBackend> = list;
             prefill(backend.as_ref(), &w);
@@ -73,4 +78,5 @@ fn main() {
         }
         row("T-Skiplist (DRAM)", &vals);
     }
+    sink.write();
 }

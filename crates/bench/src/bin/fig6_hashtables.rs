@@ -20,7 +20,7 @@ use ycsb_gen::{Mix, Workload, WorkloadSpec};
 fn series(
     w: &Workload,
     threads: &[usize],
-    make: impl Fn() -> (Arc<dyn KvBackend>, Option<EpochTicker>),
+    mut make: impl FnMut() -> (Arc<dyn KvBackend>, Option<EpochTicker>),
 ) -> Vec<f64> {
     let mut vals = Vec::new();
     for &t in threads {
@@ -36,6 +36,9 @@ fn main() {
     let ubits = 26 - scale_down_bits();
     let universe = 1u64 << ubits;
     let threads = thread_counts();
+    // --metrics-json captures the last BD-Spash configuration run (the
+    // final thread count of the last quadrant).
+    let mut sink = MetricsSink::from_args();
     println!("# Fig 6: persistent hash tables, universe 2^{ubits} (Mops/s)");
 
     for (dist_name, zipf) in [("uniform", None), ("zipfian(0.99)", Some(0.99))] {
@@ -71,6 +74,8 @@ fn main() {
                         EpochConfig::default().with_epoch_len(Duration::from_millis(50)),
                     );
                     let htm = Arc::new(Htm::new(HtmConfig::default()));
+                    sink.attach_htm(&htm);
+                    sink.attach_esys(&esys);
                     let t = Arc::new(BdSpash::new(Arc::clone(&esys), htm));
                     let ticker = EpochTicker::spawn(esys);
                     (t as _, Some(ticker))
@@ -95,4 +100,5 @@ fn main() {
             );
         }
     }
+    sink.write();
 }

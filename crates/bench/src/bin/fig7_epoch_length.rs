@@ -32,6 +32,10 @@ fn main() {
         ("1s", Duration::from_secs(1)),
         ("10s", Duration::from_secs(10)),
     ];
+    // --metrics-json captures the last configuration run (zipfian 0.99
+    // at the 10 s epoch point); its frontier-lag gauge shows the
+    // data-loss window the paper warns about.
+    let mut sink = MetricsSink::from_args();
     println!(
         "# Fig 7: single-thread PHTM-vEB vs epoch length, universe 2^{ubits}, 80% writes (Mops/s)"
     );
@@ -56,6 +60,8 @@ fn main() {
             let heap = Arc::new(NvmHeap::new(NvmConfig::optane(512 << 20)));
             let esys = EpochSys::format(heap, EpochConfig::default().with_epoch_len(*len));
             let htm = Arc::new(Htm::new(HtmConfig::default()));
+            sink.attach_htm(&htm);
+            sink.attach_esys(&esys);
             let tree = Arc::new(PhtmVeb::new(ubits, Arc::clone(&esys), htm));
             let backend: Arc<dyn KvBackend> = tree;
             prefill(backend.as_ref(), &w);
@@ -66,4 +72,5 @@ fn main() {
         }
         println!();
     }
+    sink.write();
 }

@@ -15,7 +15,6 @@ use bdhtm_core::{EpochConfig, EpochSys, EpochTicker};
 use bench::*;
 use htm_sim::{Htm, HtmConfig};
 use nvm_sim::{NvmConfig, NvmHeap};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use veb::PhtmVeb;
@@ -32,6 +31,8 @@ fn main() {
         ("1s", Duration::from_secs(1)),
         ("10s", Duration::from_secs(10)),
     ];
+    // --metrics-json captures the §5.1 buffered-bytes run at the end.
+    let mut sink = MetricsSink::from_args();
     println!(
         "# Fig 8: PHTM-vEB NVM space vs epoch length, universe 2^{ubits}, 1 thread, 50/50 ins/rem (MiB)"
     );
@@ -97,6 +98,8 @@ fn main() {
         EpochConfig::default().with_epoch_len(Duration::from_millis(100)),
     );
     let htm = Arc::new(Htm::new(HtmConfig::default()));
+    sink.attach_htm(&htm);
+    sink.attach_esys(&esys);
     let tree = Arc::new(PhtmVeb::new(ubits, Arc::clone(&esys), htm));
     let w = WorkloadSpec::uniform(universe, Mix::reads(0.0)).build();
     let backend: Arc<dyn KvBackend> = Arc::clone(&tree) as _;
@@ -106,12 +109,14 @@ fn main() {
     throughput(backend, &w, threads);
     ticker.stop();
     esys.flush_all();
-    let advances = esys.stats().advances.load(Ordering::Relaxed).max(1);
-    let words = esys.stats().words_persisted.load(Ordering::Relaxed);
+    let epoch = esys.stats().snapshot();
+    let advances = epoch.advances.max(1);
+    let words = epoch.words_persisted;
     println!(
         "{} epochs persisted, {:.2} MiB buffered per epoch on {} threads",
         advances,
         words as f64 * 8.0 / advances as f64 / (1 << 20) as f64,
         threads
     );
+    sink.write();
 }

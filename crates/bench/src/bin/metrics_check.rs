@@ -1,0 +1,135 @@
+//! Validates a `--metrics-json` report file: parses it with the
+//! in-tree JSON reader, checks the schema header, and asserts the
+//! coherence invariants that hold for any correctly assembled report.
+//! Used by ci.sh as the metrics smoke gate.
+//!
+//! ```sh
+//! cargo run --release -q --example quickstart -- --metrics-json m.json
+//! cargo run --release -p bench --bin metrics_check -- m.json
+//! ```
+//!
+//! Exits 0 and prints a one-line summary on success; exits 1 with a
+//! diagnostic on the first violated invariant.
+
+use bdhtm_core::obs::{JsonValue, METRICS_SCHEMA, METRICS_VERSION};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("metrics_check: {msg}");
+    std::process::exit(1);
+}
+
+fn req<'a>(v: &'a JsonValue, key: &str) -> &'a JsonValue {
+    v.get(key)
+        .unwrap_or_else(|| fail(&format!("missing key {key:?}")))
+}
+
+fn req_u64(v: &JsonValue, key: &str) -> u64 {
+    req(v, key)
+        .as_u64()
+        .unwrap_or_else(|| fail(&format!("key {key:?} is not a non-negative integer")))
+}
+
+fn check_hist(name: &str, h: &JsonValue) {
+    let count = req_u64(h, "count");
+    let max = req_u64(h, "max");
+    let p50 = req_u64(h, "p50");
+    let p95 = req_u64(h, "p95");
+    let p99 = req_u64(h, "p99");
+    if !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+        fail(&format!(
+            "histogram {name}: quantiles not monotone (p50={p50} p95={p95} p99={p99} max={max})"
+        ));
+    }
+    let bucket_total: u64 = req(h, "buckets")
+        .as_arr()
+        .unwrap_or_else(|| fail(&format!("histogram {name}: buckets is not an array")))
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_arr()
+                .unwrap_or_else(|| fail(&format!("histogram {name}: bucket entry not a pair")));
+            if pair.len() != 2 {
+                fail(&format!("histogram {name}: bucket entry not a pair"));
+            }
+            pair[1]
+                .as_u64()
+                .unwrap_or_else(|| fail(&format!("histogram {name}: bucket count not an integer")))
+        })
+        .sum();
+    if bucket_total != count {
+        fail(&format!(
+            "histogram {name}: bucket counts sum to {bucket_total}, count says {count}"
+        ));
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| fail("usage: metrics_check <report.json>"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = JsonValue::parse(&text).unwrap_or_else(|e| fail(&format!("invalid JSON: {e}")));
+
+    // Schema header.
+    if req(&doc, "schema").as_str() != Some(METRICS_SCHEMA) {
+        fail(&format!("schema is not {METRICS_SCHEMA:?}"));
+    }
+    if req_u64(&doc, "version") != METRICS_VERSION {
+        fail(&format!("version is not {METRICS_VERSION}"));
+    }
+
+    // HTM coherence: attempts = commits + sum of abort causes.
+    let mut summary = Vec::new();
+    if let Some(htm) = doc.get("htm") {
+        let attempts = req_u64(htm, "attempts");
+        let commits = req_u64(htm, "commits");
+        let aborts: u64 = match req(htm, "aborts") {
+            JsonValue::Obj(members) => members
+                .iter()
+                .map(|(cause, n)| {
+                    n.as_u64()
+                        .unwrap_or_else(|| fail(&format!("abort count {cause:?} not an integer")))
+                })
+                .sum(),
+            _ => fail("htm.aborts is not an object"),
+        };
+        if attempts != commits + aborts {
+            fail(&format!(
+                "htm incoherent: attempts={attempts} != commits={commits} + aborts={aborts}"
+            ));
+        }
+        summary.push(format!("htm attempts={attempts}"));
+    }
+
+    // Derived gauges: the frontier never passes the clock.
+    if let Some(d) = doc.get("derived") {
+        let current = req_u64(d, "current_epoch");
+        let frontier = req_u64(d, "persisted_frontier");
+        let lag = req_u64(d, "frontier_lag");
+        if frontier > current {
+            fail(&format!(
+                "derived incoherent: persisted_frontier={frontier} > current_epoch={current}"
+            ));
+        }
+        if lag != current - frontier {
+            fail(&format!(
+                "derived incoherent: frontier_lag={lag} != {current} - {frontier}"
+            ));
+        }
+        summary.push(format!("frontier_lag={lag}"));
+    }
+
+    // Histograms: monotone quantiles, bucket counts sum to count.
+    match req(&doc, "histograms") {
+        JsonValue::Obj(members) => {
+            for (name, h) in members {
+                check_hist(name, h);
+            }
+            summary.push(format!("{} histograms", members.len()));
+        }
+        _ => fail("histograms is not an object"),
+    }
+
+    println!("metrics_check: OK ({})", summary.join(", "));
+}

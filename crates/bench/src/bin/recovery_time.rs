@@ -8,7 +8,7 @@
 //! ```
 
 use bdhtm_core::{EpochConfig, EpochSys};
-use bench::{scale_down_bits, thread_counts};
+use bench::{scale_down_bits, thread_counts, MetricsSink};
 use hashtable::BdSpash;
 use htm_sim::{Htm, HtmConfig};
 use nvm_sim::{NvmConfig, NvmHeap};
@@ -20,6 +20,9 @@ use veb::PhtmVeb;
 fn main() {
     let records = 1u64 << (23 - scale_down_bits().min(8));
     let par = *thread_counts().last().unwrap_or(&4);
+    // --metrics-json captures the last recovered configuration
+    // (BD-Spash at the parallel thread count).
+    let mut sink = MetricsSink::from_args();
     println!("# Sec 5.2: recovery time with {records} records (scan + rebuild)");
     println!(
         "{:<14} {:>9} {:>12} {:>12}",
@@ -62,6 +65,8 @@ fn main() {
             let (esys2, live) = EpochSys::recover(heap2, EpochConfig::default(), threads);
             let scan = t0.elapsed();
             let htm2 = Arc::new(Htm::new(HtmConfig::default()));
+            sink.attach_htm(&htm2);
+            sink.attach_esys(&esys2);
             let t0 = Instant::now();
             match kind {
                 "PHTM-vEB" => {
@@ -81,4 +86,5 @@ fn main() {
             println!("{kind:<14} {threads:>9} {scan:>12.3?} {rebuild:>12.3?}");
         }
     }
+    sink.write();
 }

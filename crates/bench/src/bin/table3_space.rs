@@ -9,7 +9,7 @@
 //! ```
 
 use bdhtm_core::{EpochConfig, EpochSys};
-use bench::scale_down_bits;
+use bench::{scale_down_bits, MetricsSink};
 use btree::{ElimAbTree, LbTree, OccAbTree};
 use htm_sim::{Htm, HtmConfig};
 use nvm_sim::{NvmConfig, NvmHeap};
@@ -28,6 +28,9 @@ fn main() {
         ubits - 1
     );
     println!("{:<12} {:>10} {:>10}", "tree", "DRAM", "NVM");
+    // --metrics-json captures the PHTM-vEB fill (the only buffered-
+    // durable configuration in this table).
+    let mut sink = MetricsSink::from_args();
 
     // HTM-vEB: all DRAM.
     {
@@ -49,6 +52,8 @@ fn main() {
         let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(512 << 20)));
         let esys = EpochSys::format(heap, EpochConfig::default());
         let htm = Arc::new(Htm::new(HtmConfig::default()));
+        sink.attach_htm(&htm);
+        sink.attach_esys(&esys);
         let t = PhtmVeb::new(ubits, Arc::clone(&esys), htm);
         for k in 0..nkeys {
             t.insert(k * 2, k);
@@ -108,4 +113,5 @@ fn main() {
             mib(t.nvm_bytes())
         );
     }
+    sink.write();
 }

@@ -102,6 +102,81 @@ pub fn throughput(backend: Arc<dyn KvBackend>, workload: &Workload, threads: usi
     ops.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64() / 1e6
 }
 
+/// Shared `--metrics-json <path>` handling for the figure binaries.
+///
+/// Every experiment binary constructs one sink from its argv, attaches
+/// the substrate objects of the configuration it wants captured (by
+/// convention the *last* configuration it builds, i.e. the final series
+/// of the figure), and calls [`MetricsSink::write`] before exiting.
+/// When the flag is absent the sink is inert and costs nothing.
+///
+/// Accepted spellings: `--metrics-json <path>` and
+/// `--metrics-json=<path>`.
+#[derive(Default)]
+pub struct MetricsSink {
+    path: Option<String>,
+    registry: bdhtm_core::MetricsRegistry,
+}
+
+impl MetricsSink {
+    /// Builds a sink from the process arguments.
+    pub fn from_args() -> MetricsSink {
+        let mut path = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--metrics-json" {
+                path = args.next();
+            } else if let Some(p) = a.strip_prefix("--metrics-json=") {
+                path = Some(p.to_string());
+            }
+        }
+        MetricsSink {
+            path,
+            registry: bdhtm_core::MetricsRegistry::new(),
+        }
+    }
+
+    /// True when `--metrics-json` was passed.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Attaches the epoch system whose stats the report should capture.
+    pub fn attach_esys(&mut self, esys: &Arc<bdhtm_core::EpochSys>) {
+        if self.enabled() {
+            self.registry.attach_esys(Arc::clone(esys));
+        }
+    }
+
+    /// Attaches the HTM domain whose stats the report should capture.
+    pub fn attach_htm(&mut self, htm: &Arc<htm_sim::Htm>) {
+        if self.enabled() {
+            self.registry.attach_htm(Arc::clone(htm));
+        }
+    }
+
+    /// Attaches a bare NVM heap (for binaries without an epoch system).
+    pub fn attach_heap(&mut self, heap: &Arc<nvm_sim::NvmHeap>) {
+        if self.enabled() {
+            self.registry.attach_heap(Arc::clone(heap));
+        }
+    }
+
+    /// Snapshots the attached sources and writes the JSON report. Call
+    /// once, at the end of the run. No-op without `--metrics-json`.
+    pub fn write(&self) {
+        let Some(path) = &self.path else { return };
+        let json = self.registry.report().to_json();
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("metrics written to {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write metrics to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 /// Prints a series row: `label  v1  v2  v3 ...`.
 pub fn row(label: &str, values: &[f64]) {
     print!("{label:<28}");

@@ -4,7 +4,7 @@
 //! search trees. This crate implements their algorithmic essentials — the
 //! persistence discipline and memory placement that the comparison hinges
 //! on — with a documented simplification of the fine-grained concurrency
-//! control (DESIGN.md §7): leaf-level operations run under striped leaf
+//! control (DESIGN.md §8): leaf-level operations run under striped leaf
 //! locks with the tree structure guarded by a reader-writer lock whose
 //! write side is taken only for splits (rare with 60-entry leaves).
 //!

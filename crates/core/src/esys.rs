@@ -2,6 +2,7 @@
 //! advancement, and the Listing 1 update-classification helper.
 
 use crate::config::EpochConfig;
+use crate::obs::{EventKind, Obs};
 use htm_sim::sync::CachePadded;
 use htm_sim::sync::Mutex;
 use htm_sim::{max_threads, thread_id, MemAccess, TxResult};
@@ -151,23 +152,77 @@ impl Default for ThreadState {
     }
 }
 
-/// Volatile counters describing epoch-system activity.
+/// Volatile counters describing epoch-system activity. Read through
+/// [`EpochStats::snapshot`], like the HTM and NVM stats types.
 #[derive(Default)]
 pub struct EpochStats {
+    pub(crate) advances: AtomicU64,
+    pub(crate) blocks_persisted: AtomicU64,
+    pub(crate) words_persisted: AtomicU64,
+    pub(crate) blocks_reclaimed: AtomicU64,
+    pub(crate) advance_failures: AtomicU64,
+    pub(crate) backpressure_advances: AtomicU64,
+}
+
+impl EpochStats {
+    /// Aggregates the counters into an owned snapshot.
+    pub fn snapshot(&self) -> EpochStatsSnapshot {
+        EpochStatsSnapshot {
+            advances: self.advances.load(Ordering::Relaxed),
+            blocks_persisted: self.blocks_persisted.load(Ordering::Relaxed),
+            words_persisted: self.words_persisted.load(Ordering::Relaxed),
+            blocks_reclaimed: self.blocks_reclaimed.load(Ordering::Relaxed),
+            advance_failures: self.advance_failures.load(Ordering::Relaxed),
+            backpressure_advances: self.backpressure_advances.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter (between benchmark phases).
+    pub fn reset(&self) {
+        self.advances.store(0, Ordering::Relaxed);
+        self.blocks_persisted.store(0, Ordering::Relaxed);
+        self.words_persisted.store(0, Ordering::Relaxed);
+        self.blocks_reclaimed.store(0, Ordering::Relaxed);
+        self.advance_failures.store(0, Ordering::Relaxed);
+        self.backpressure_advances.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Aggregated view of [`EpochStats`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct EpochStatsSnapshot {
     /// Completed epoch advances.
-    pub advances: AtomicU64,
+    pub advances: u64,
     /// Blocks flushed by background persistence.
-    pub blocks_persisted: AtomicU64,
+    pub blocks_persisted: u64,
     /// Words covered by those flushes (buffered-bytes-per-epoch model,
     /// §5.1).
-    pub words_persisted: AtomicU64,
+    pub words_persisted: u64,
     /// Retired blocks physically reclaimed.
-    pub blocks_reclaimed: AtomicU64,
+    pub blocks_reclaimed: u64,
     /// Advance attempts that failed (injected epoch-system faults).
-    pub advance_failures: AtomicU64,
+    pub advance_failures: u64,
     /// Epoch advances initiated by [`EpochSys::begin_op`] backpressure
     /// (buffered set over [`EpochConfig::max_buffered_words`]).
-    pub backpressure_advances: AtomicU64,
+    pub backpressure_advances: u64,
+}
+
+impl EpochStatsSnapshot {
+    /// Difference of two snapshots (self - earlier). Saturating per
+    /// field: a `reset()` between the two snapshots yields zeros
+    /// instead of a debug-build underflow panic.
+    pub fn since(&self, e: &EpochStatsSnapshot) -> EpochStatsSnapshot {
+        EpochStatsSnapshot {
+            advances: self.advances.saturating_sub(e.advances),
+            blocks_persisted: self.blocks_persisted.saturating_sub(e.blocks_persisted),
+            words_persisted: self.words_persisted.saturating_sub(e.words_persisted),
+            blocks_reclaimed: self.blocks_reclaimed.saturating_sub(e.blocks_reclaimed),
+            advance_failures: self.advance_failures.saturating_sub(e.advance_failures),
+            backpressure_advances: self
+                .backpressure_advances
+                .saturating_sub(e.backpressure_advances),
+        }
+    }
 }
 
 /// Why an epoch transition did not happen (see
@@ -196,6 +251,7 @@ pub struct EpochSys {
     disabled: bool,
     config: EpochConfig,
     stats: EpochStats,
+    obs: Obs,
     /// Words tracked for background persistence but not yet flushed —
     /// the "dirty set" the backpressure bound keeps in check.
     buffered_words: CachePadded<AtomicU64>,
@@ -251,6 +307,7 @@ impl EpochSys {
             disabled,
             config,
             stats: EpochStats::default(),
+            obs: Obs::new(),
             buffered_words: CachePadded::new(AtomicU64::new(0)),
             fault_fail_next: AtomicU64::new(0),
             fault_fail_prob_bits: AtomicU64::new(0),
@@ -274,6 +331,12 @@ impl EpochSys {
 
     pub fn stats(&self) -> &EpochStats {
         &self.stats
+    }
+
+    /// Lifecycle instrumentation: latency histograms and the flight
+    /// recorder (see [`crate::obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     // ----- epoch-system fault injection -----------------------------------
@@ -379,10 +442,12 @@ impl EpochSys {
         // This is the one safe point — the thread has not announced an
         // epoch yet, so the advance it performs cannot wait on itself.
         let bound = self.config.max_buffered_words;
-        if bound != 0 && self.buffered_words.load(Ordering::Relaxed) > bound {
+        let buffered = self.buffered_words.load(Ordering::Relaxed);
+        if bound != 0 && buffered > bound {
             self.stats
                 .backpressure_advances
                 .fetch_add(1, Ordering::Relaxed);
+            self.obs.event(EventKind::Backpressure, buffered, bound);
             self.advance();
         }
         let e = loop {
@@ -630,6 +695,7 @@ impl EpochSys {
             self.stats.advance_failures.fetch_add(1, Ordering::Relaxed);
             return Err(AdvanceFault::Injected);
         }
+        let t0 = std::time::Instant::now();
         let e = self.clock.load(Ordering::SeqCst);
 
         // 1. Wait for stragglers in epochs < e (the in-flight epoch e−1
@@ -701,6 +767,13 @@ impl EpochSys {
         self.stats
             .blocks_reclaimed
             .fetch_add(reclaimed, Ordering::Relaxed);
+        self.obs.advance_ns.record(t0.elapsed().as_nanos() as u64);
+        self.obs
+            .persist_batch_blocks
+            .record(persist_list.len() as u64);
+        self.obs
+            .event(EventKind::PersistBatch, persist_list.len() as u64, words);
+        self.obs.event(EventKind::EpochAdvance, e + 1, r);
         Ok(())
     }
 
@@ -859,8 +932,7 @@ mod tests {
         // Nothing should be flushed for the aborted op.
         es.advance();
         es.advance();
-        let s = es.stats();
-        assert_eq!(s.blocks_persisted.load(Ordering::Relaxed), 0);
+        assert_eq!(es.stats().snapshot().blocks_persisted, 0);
         // The block itself still exists (allocated, INVALID_EPOCH): it is
         // the caller's preallocated new_blk, reusable by the next op.
         assert_eq!(Header::epoch(es.heap(), blk), INVALID_EPOCH);
@@ -890,7 +962,7 @@ mod tests {
         es.advance(); // flushes epoch 2 (blk's creation)
         es.advance(); // flushes epoch 3 (blk2 + blk's retirement), reclaims blk
         assert_eq!(es.alloc_stats().live_blocks[0], live_before - 1);
-        assert_eq!(es.stats().blocks_reclaimed.load(Ordering::Relaxed), 1);
+        assert_eq!(es.stats().snapshot().blocks_reclaimed, 1);
     }
 
     #[test]
@@ -998,9 +1070,10 @@ mod tests {
                 es2.advance();
             });
         });
-        assert!(es.stats().advances.load(Ordering::Relaxed) >= 2);
-        assert!(es.stats().blocks_persisted.load(Ordering::Relaxed) > 0);
-        assert!(es.stats().blocks_reclaimed.load(Ordering::Relaxed) > 0);
+        let s = es.stats().snapshot();
+        assert!(s.advances >= 2);
+        assert!(s.blocks_persisted > 0);
+        assert!(s.blocks_reclaimed > 0);
     }
 
     #[test]
@@ -1013,7 +1086,7 @@ mod tests {
         assert_eq!(es.current_epoch(), e0, "failed attempts move no state");
         assert_eq!(es.try_advance(), Ok(()));
         assert_eq!(es.current_epoch(), e0 + 1);
-        assert_eq!(es.stats().advance_failures.load(Ordering::Relaxed), 2);
+        assert_eq!(es.stats().snapshot().advance_failures, 2);
 
         // advance() absorbs a burst shorter than its retry budget.
         es.inject_advance_failures(2); // default advance_retries = 3
@@ -1081,7 +1154,7 @@ mod tests {
             peak = peak.max(es.buffered_words());
         }
         assert!(
-            es.stats().backpressure_advances.load(Ordering::Relaxed) > 0,
+            es.stats().snapshot().backpressure_advances > 0,
             "the bound must have triggered helping advances"
         );
         // Each helping advance drains the previous epoch's buffer, so the

@@ -81,16 +81,20 @@
 mod config;
 mod esys;
 mod kv;
+pub mod obs;
 mod op;
 mod recovery;
 mod ticker;
 
 pub use config::EpochConfig;
 pub use esys::{
-    payload, AdvanceFault, EpochStats, EpochSys, PreallocSlots, UpdateKind, EMPTY_EPOCH,
-    EPOCH_START, OLD_SEE_NEW,
+    payload, AdvanceFault, EpochStats, EpochStatsSnapshot, EpochSys, PreallocSlots, UpdateKind,
+    EMPTY_EPOCH, EPOCH_START, OLD_SEE_NEW,
 };
 pub use kv::{BdlKv, KV_UNIVERSE_BITS};
+pub use obs::{
+    EventKind, FlightEvent, FlightRecorder, JsonValue, MetricsRegistry, MetricsReport, Obs,
+};
 pub use op::{run_op, CommitEffects, OpGuard, OpStep, RestartFn};
 pub use persist_alloc::INVALID_EPOCH;
 pub use recovery::LiveBlock;

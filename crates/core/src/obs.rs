@@ -1,0 +1,876 @@
+//! Observability for the BDL stack: a lifecycle flight recorder, the
+//! unified [`MetricsRegistry`], and a std-only JSON writer/parser pair.
+//!
+//! The paper's argument is quantitative — Fig. 2's abort-cause
+//! breakdown, §5.1's write amplification, Fig. 7's epoch-length
+//! sensitivity — but the simulator's counters grew up as three
+//! disconnected islands (`HtmStats`, `NvmStats`, `EpochStats`) with no
+//! latency data and no record of what the system was *doing* when a
+//! fault-sweep crash point fired. This module unifies them:
+//!
+//! * [`Obs`] — per-`EpochSys` instrumentation: log₂ latency histograms
+//!   (op latency, restarts per op, advance duration, persist batch
+//!   size) and a lock-free per-thread ring buffer of lifecycle events.
+//!   Everything on the hot path costs only relaxed per-thread writes,
+//!   so the pinned fault-sweep digest and bench throughput are
+//!   unaffected.
+//! * [`MetricsRegistry`] / [`MetricsReport`] — one snapshot call that
+//!   folds HTM, NVM, epoch, allocator, and histogram data into a
+//!   stable, versioned JSON document (hand-written writer, no serde).
+//! * [`JsonValue`] — a small recursive-descent JSON parser used by the
+//!   round-trip tests and the `metrics_check` validation binary.
+
+use crate::esys::{EpochStatsSnapshot, EpochSys};
+use htm_sim::{max_threads, thread_id, HistSnapshot, Htm, LogHistogram, StatsSnapshot};
+use nvm_sim::{NvmHeap, NvmStatsSnapshot};
+use persist_alloc::AllocStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------------
+
+/// Events per thread kept by the flight recorder. Small on purpose: the
+/// recorder answers "what were the last few things each thread did
+/// before the failure", not "give me a full trace".
+pub const RING_SLOTS: usize = 64;
+
+/// Lifecycle event vocabulary (see DESIGN.md §6 for payload meanings).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u64)]
+pub enum EventKind {
+    /// An operation registered: `a` = epoch.
+    OpBegin = 0,
+    /// An operation attempt aborted its registration: `a` = epoch,
+    /// `b` = abort tag ([`ABORT_RESTART`], `1 + explicit code`, or
+    /// [`ABORT_UNWIND`]).
+    OpAbort = 1,
+    /// An operation committed: `a` = epoch, `b` = restarts it took.
+    OpCommit = 2,
+    /// The epoch clock moved: `a` = new epoch, `b` = new frontier.
+    EpochAdvance = 3,
+    /// An advance flushed tracked blocks: `a` = blocks, `b` = words.
+    PersistBatch = 4,
+    /// `begin_op` helped advance under a full buffered set:
+    /// `a` = buffered words, `b` = configured bound.
+    Backpressure = 5,
+    /// The `nvm-sim` fault plan fired a crash point: `a` = point index,
+    /// `b` = crash-point kind code.
+    FaultInjected = 6,
+}
+
+/// [`EventKind::OpAbort`] tag: the structure requested a restart.
+pub const ABORT_RESTART: u64 = 0;
+/// [`EventKind::OpAbort`] tag: a panic unwound through the bracket.
+pub const ABORT_UNWIND: u64 = u64::MAX;
+
+impl EventKind {
+    fn of(code: u64) -> Option<EventKind> {
+        match code {
+            0 => Some(EventKind::OpBegin),
+            1 => Some(EventKind::OpAbort),
+            2 => Some(EventKind::OpCommit),
+            3 => Some(EventKind::EpochAdvance),
+            4 => Some(EventKind::PersistBatch),
+            5 => Some(EventKind::Backpressure),
+            6 => Some(EventKind::FaultInjected),
+            _ => None,
+        }
+    }
+}
+
+struct Slot {
+    /// 1-based per-thread event number; 0 = never written. Stored last
+    /// (Release) so a dump that observes it sees the payload stores.
+    seq: AtomicU64,
+    t_ns: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+struct Ring {
+    slots: [Slot; RING_SLOTS],
+    /// Events this thread has written (owner-only counter).
+    next: AtomicU64,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            slots: std::array::from_fn(|_| Slot {
+                seq: AtomicU64::new(0),
+                t_ns: AtomicU64::new(0),
+                kind: AtomicU64::new(0),
+                a: AtomicU64::new(0),
+                b: AtomicU64::new(0),
+            }),
+            next: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One recovered event, ordered by a monotonic timestamp shared by all
+/// threads of the recorder.
+#[derive(Clone, Copy, Debug)]
+pub struct FlightEvent {
+    /// Nanoseconds since the recorder (i.e. the `EpochSys`) was built.
+    pub t_ns: u64,
+    /// Recording thread's dense id.
+    pub tid: usize,
+    pub kind: EventKind,
+    pub a: u64,
+    pub b: u64,
+}
+
+impl FlightEvent {
+    /// Human-readable one-liner for postmortem dumps.
+    pub fn render(&self) -> String {
+        let head = format!("[+{:>12}ns t{:02}] ", self.t_ns, self.tid);
+        let body = match self.kind {
+            EventKind::OpBegin => format!("OpBegin      e={}", self.a),
+            EventKind::OpAbort => {
+                let cause = match self.b {
+                    ABORT_RESTART => "restart".to_string(),
+                    ABORT_UNWIND => "unwind".to_string(),
+                    tag => {
+                        let code = tag - 1;
+                        if code == crate::esys::OLD_SEE_NEW as u64 {
+                            format!("old_see_new({code:#04x})")
+                        } else {
+                            format!("explicit({code:#04x})")
+                        }
+                    }
+                };
+                format!("OpAbort      e={} cause={}", self.a, cause)
+            }
+            EventKind::OpCommit => format!("OpCommit     e={} restarts={}", self.a, self.b),
+            EventKind::EpochAdvance => {
+                format!("EpochAdvance e={} frontier={}", self.a, self.b)
+            }
+            EventKind::PersistBatch => {
+                format!("PersistBatch blocks={} words={}", self.a, self.b)
+            }
+            EventKind::Backpressure => {
+                format!("Backpressure buffered={} bound={}", self.a, self.b)
+            }
+            EventKind::FaultInjected => {
+                let kind = ["clwb", "fence", "format_line", "evict_line"]
+                    .get(self.b as usize)
+                    .copied()
+                    .unwrap_or("?");
+                format!("FaultInjected point={} kind={}", self.a, kind)
+            }
+        };
+        head + &body
+    }
+}
+
+/// Lock-free per-thread ring buffer of lifecycle events.
+///
+/// Each thread owns one lazily-allocated ring and is its only writer;
+/// recording is a handful of relaxed stores plus one Release store of
+/// the slot's sequence number. [`FlightRecorder::dump`] may race an
+/// active writer, in which case at worst one in-flight slot renders
+/// stale fields — acceptable for a postmortem diagnostic, and the
+/// common consumer (the fault sweep) dumps from a single thread after
+/// the crash unwound.
+pub struct FlightRecorder {
+    origin: Instant,
+    rings: Box<[OnceLock<Box<Ring>>]>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlightRecorder {
+    pub fn new() -> Self {
+        FlightRecorder {
+            origin: Instant::now(),
+            rings: (0..max_threads()).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Records one event on the calling thread.
+    #[inline]
+    pub fn record(&self, kind: EventKind, a: u64, b: u64) {
+        let t_ns = self.origin.elapsed().as_nanos() as u64;
+        let ring = self.rings[thread_id()].get_or_init(|| Box::new(Ring::new()));
+        let n = ring.next.load(Ordering::Relaxed);
+        let slot = &ring.slots[(n % RING_SLOTS as u64) as usize];
+        slot.t_ns.store(t_ns, Ordering::Relaxed);
+        slot.kind.store(kind as u64, Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.seq.store(n + 1, Ordering::Release);
+        ring.next.store(n + 1, Ordering::Relaxed);
+    }
+
+    /// The last `max` events across all threads, oldest first, merged
+    /// by timestamp.
+    pub fn dump(&self, max: usize) -> Vec<FlightEvent> {
+        let mut events = Vec::new();
+        for (tid, slot) in self.rings.iter().enumerate() {
+            let Some(ring) = slot.get() else { continue };
+            for s in ring.slots.iter() {
+                if s.seq.load(Ordering::Acquire) == 0 {
+                    continue;
+                }
+                let Some(kind) = EventKind::of(s.kind.load(Ordering::Relaxed)) else {
+                    continue;
+                };
+                events.push(FlightEvent {
+                    t_ns: s.t_ns.load(Ordering::Relaxed),
+                    tid,
+                    kind,
+                    a: s.a.load(Ordering::Relaxed),
+                    b: s.b.load(Ordering::Relaxed),
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.t_ns, e.tid));
+        if events.len() > max {
+            events.drain(..events.len() - max);
+        }
+        events
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-EpochSys instrumentation bundle
+// ---------------------------------------------------------------------------
+
+/// Instrumentation carried by every [`EpochSys`]: latency/size
+/// histograms and the flight recorder. All four `BdlKv` structures
+/// inherit it through `run_op`; the epoch ticker and backpressure path
+/// feed it from inside the epoch system itself.
+pub struct Obs {
+    recorder: FlightRecorder,
+    pub(crate) op_latency_ns: LogHistogram,
+    pub(crate) op_restarts: LogHistogram,
+    pub(crate) advance_ns: LogHistogram,
+    pub(crate) persist_batch_blocks: LogHistogram,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Obs {
+    pub fn new() -> Self {
+        Obs {
+            recorder: FlightRecorder::new(),
+            op_latency_ns: LogHistogram::new(),
+            op_restarts: LogHistogram::new(),
+            advance_ns: LogHistogram::new(),
+            persist_batch_blocks: LogHistogram::new(),
+        }
+    }
+
+    /// Records one lifecycle event (see [`EventKind`] for payloads).
+    #[inline]
+    pub fn event(&self, kind: EventKind, a: u64, b: u64) {
+        self.recorder.record(kind, a, b);
+    }
+
+    /// The last `max` lifecycle events across all threads.
+    pub fn dump(&self, max: usize) -> Vec<FlightEvent> {
+        self.recorder.dump(max)
+    }
+
+    /// End-to-end `run_op` latency, nanoseconds.
+    pub fn op_latency_ns(&self) -> &LogHistogram {
+        &self.op_latency_ns
+    }
+
+    /// Registration restarts per completed operation.
+    pub fn op_restarts(&self) -> &LogHistogram {
+        &self.op_restarts
+    }
+
+    /// `try_advance` duration (successful transitions), nanoseconds.
+    pub fn advance_ns(&self) -> &LogHistogram {
+        &self.advance_ns
+    }
+
+    /// Tracked blocks flushed per epoch transition.
+    pub fn persist_batch_blocks(&self) -> &LogHistogram {
+        &self.persist_batch_blocks
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry and report
+// ---------------------------------------------------------------------------
+
+/// Derived point-in-time gauges of the epoch system.
+#[derive(Clone, Copy, Debug)]
+pub struct DerivedGauges {
+    pub current_epoch: u64,
+    pub persisted_frontier: u64,
+    /// `current_epoch − persisted_frontier`: 2 in steady state; growth
+    /// means the ticker is falling behind (Fig. 7's failure mode).
+    pub frontier_lag: u64,
+    /// Words tracked for background persistence and not yet flushed.
+    pub buffered_words: u64,
+}
+
+/// A histogram snapshot with its identity in the report schema.
+#[derive(Clone, Copy, Debug)]
+pub struct NamedHist {
+    pub name: &'static str,
+    pub unit: &'static str,
+    pub snap: HistSnapshot,
+}
+
+/// Aggregates the stack's stats sources into one [`MetricsReport`].
+/// Attach whatever the program actually built — absent sources simply
+/// drop out of the report.
+#[derive(Default, Clone)]
+pub struct MetricsRegistry {
+    esys: Option<Arc<EpochSys>>,
+    htm: Option<Arc<Htm>>,
+    heap: Option<Arc<NvmHeap>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches an epoch system: contributes epoch stats, derived
+    /// gauges, allocator stats, NVM traffic (via its heap), and the
+    /// lifecycle histograms.
+    pub fn attach_esys(&mut self, esys: Arc<EpochSys>) {
+        self.esys = Some(esys);
+    }
+
+    /// Attaches an HTM domain: contributes commit/abort stats and the
+    /// backoff-wait histogram.
+    pub fn attach_htm(&mut self, htm: Arc<Htm>) {
+        self.htm = Some(htm);
+    }
+
+    /// Attaches a bare heap (for programs with NVM traffic but no epoch
+    /// system, e.g. the MwCAS benchmark). Ignored when an epoch system
+    /// is attached — the report uses the epoch system's heap.
+    pub fn attach_heap(&mut self, heap: Arc<NvmHeap>) {
+        self.heap = Some(heap);
+    }
+
+    /// Snapshots every attached source.
+    pub fn report(&self) -> MetricsReport {
+        let mut histograms = Vec::new();
+        if let Some(htm) = &self.htm {
+            histograms.push(NamedHist {
+                name: "htm_backoff_spins",
+                unit: "spins",
+                snap: htm.backoff_hist().snapshot(),
+            });
+        }
+        let mut nvm = self.heap.as_ref().map(|h| h.stats().snapshot());
+        let mut epoch = None;
+        let mut alloc = None;
+        let mut derived = None;
+        if let Some(esys) = &self.esys {
+            nvm = Some(esys.heap().stats().snapshot());
+            epoch = Some(esys.stats().snapshot());
+            alloc = Some(esys.alloc_stats());
+            let current_epoch = esys.current_epoch();
+            let persisted_frontier = esys.persisted_frontier();
+            derived = Some(DerivedGauges {
+                current_epoch,
+                persisted_frontier,
+                frontier_lag: current_epoch.saturating_sub(persisted_frontier),
+                buffered_words: esys.buffered_words(),
+            });
+            let obs = esys.obs();
+            histograms.push(NamedHist {
+                name: "op_latency_ns",
+                unit: "ns",
+                snap: obs.op_latency_ns.snapshot(),
+            });
+            histograms.push(NamedHist {
+                name: "op_restarts",
+                unit: "restarts",
+                snap: obs.op_restarts.snapshot(),
+            });
+            histograms.push(NamedHist {
+                name: "advance_ns",
+                unit: "ns",
+                snap: obs.advance_ns.snapshot(),
+            });
+            histograms.push(NamedHist {
+                name: "persist_batch_blocks",
+                unit: "blocks",
+                snap: obs.persist_batch_blocks.snapshot(),
+            });
+        }
+        MetricsReport {
+            htm: self.htm.as_ref().map(|h| h.stats().snapshot()),
+            nvm,
+            epoch,
+            alloc,
+            derived,
+            histograms,
+        }
+    }
+}
+
+/// One coherent snapshot of every attached stats source. Serialize with
+/// [`MetricsReport::to_json`]; the schema is documented in DESIGN.md §6.
+pub struct MetricsReport {
+    pub htm: Option<StatsSnapshot>,
+    pub nvm: Option<NvmStatsSnapshot>,
+    pub epoch: Option<EpochStatsSnapshot>,
+    pub alloc: Option<AllocStats>,
+    pub derived: Option<DerivedGauges>,
+    pub histograms: Vec<NamedHist>,
+}
+
+/// Schema identifier emitted in every report.
+pub const METRICS_SCHEMA: &str = "bdhtm-metrics";
+/// Schema version; bump when a key changes meaning or disappears.
+pub const METRICS_VERSION: u64 = 1;
+
+/// Formats an `f64` as a JSON number token (never `NaN`/`inf`, which
+/// JSON forbids — non-finite values degrade to 0).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn json_hist(out: &mut String, h: &NamedHist) {
+    out.push('"');
+    out.push_str(h.name);
+    out.push_str("\":{");
+    out.push_str(&format!(
+        "\"unit\":\"{}\",\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\
+         \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+        h.unit,
+        h.snap.count,
+        h.snap.sum,
+        h.snap.max,
+        json_f64(h.snap.mean()),
+        h.snap.p50(),
+        h.snap.p95(),
+        h.snap.p99(),
+    ));
+    let mut first = true;
+    for (i, &n) in h.snap.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("[{i},{n}]"));
+    }
+    out.push_str("]}");
+}
+
+impl MetricsReport {
+    /// Serializes the report to the versioned `bdhtm-metrics` JSON
+    /// schema (DESIGN.md §6). Sections whose source was not attached
+    /// are omitted entirely rather than emitted empty.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str(&format!(
+            "{{\"schema\":\"{METRICS_SCHEMA}\",\"version\":{METRICS_VERSION}"
+        ));
+        if let Some(h) = &self.htm {
+            s.push_str(&format!(
+                ",\"htm\":{{\"commits\":{},\"fallbacks\":{},\"attempts\":{},\
+                 \"commit_ratio\":{},\"aborts\":{{",
+                h.commits,
+                h.fallbacks,
+                h.attempts(),
+                json_f64(h.commit_ratio()),
+            ));
+            for (i, &n) in h.aborts.iter().enumerate() {
+                if i != 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"{}\":{}", htm_sim::AbortCause::label(i), n));
+            }
+            s.push_str("}}");
+        }
+        if let Some(n) = &self.nvm {
+            s.push_str(&format!(
+                ",\"nvm\":{{\"reads\":{},\"writes\":{},\"cas_ops\":{},\"flushes\":{},\
+                 \"lines_written_back\":{},\"xplines_touched\":{},\"fences\":{},\
+                 \"evicted_lines\":{},\"media_bytes\":{},\"write_amplification\":{}}}",
+                n.reads,
+                n.writes,
+                n.cas_ops,
+                n.flushes,
+                n.lines_written_back,
+                n.xplines_touched,
+                n.fences,
+                n.evicted_lines,
+                n.media_bytes(),
+                json_f64(n.write_amplification()),
+            ));
+        }
+        if let Some(e) = &self.epoch {
+            s.push_str(&format!(
+                ",\"epoch\":{{\"advances\":{},\"blocks_persisted\":{},\"words_persisted\":{},\
+                 \"blocks_reclaimed\":{},\"advance_failures\":{},\"backpressure_advances\":{}}}",
+                e.advances,
+                e.blocks_persisted,
+                e.words_persisted,
+                e.blocks_reclaimed,
+                e.advance_failures,
+                e.backpressure_advances,
+            ));
+        }
+        if let Some(a) = &self.alloc {
+            s.push_str(",\"alloc\":{\"live_blocks\":[");
+            for (i, &n) in a.live_blocks.iter().enumerate() {
+                if i != 0 {
+                    s.push(',');
+                }
+                s.push_str(&n.to_string());
+            }
+            s.push_str(&format!("],\"bytes_in_use\":{}}}", a.bytes_in_use()));
+        }
+        if let Some(d) = &self.derived {
+            s.push_str(&format!(
+                ",\"derived\":{{\"current_epoch\":{},\"persisted_frontier\":{},\
+                 \"frontier_lag\":{},\"buffered_words\":{}}}",
+                d.current_epoch, d.persisted_frontier, d.frontier_lag, d.buffered_words,
+            ));
+        }
+        s.push_str(",\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i != 0 {
+                s.push(',');
+            }
+            json_hist(&mut s, h);
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON parser (validation side)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value — the readback half of the metrics pipeline,
+/// used by round-trip tests and the `metrics_check` binary. Minimal by
+/// design: numbers are `f64` (exact for every counter below 2⁵³).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses a complete JSON document.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.b[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.i;
+        while self.i < self.b.len()
+            && matches!(
+                self.b[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.i))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str).
+                    let rest = &self.b[self.i..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let val = self.value()?;
+            members.push((key, val));
+            self.ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_records_and_dumps_in_order() {
+        let r = FlightRecorder::new();
+        r.record(EventKind::OpBegin, 2, 0);
+        r.record(EventKind::OpCommit, 2, 0);
+        r.record(EventKind::EpochAdvance, 3, 1);
+        let d = r.dump(16);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].kind, EventKind::OpBegin);
+        assert_eq!(d[2].kind, EventKind::EpochAdvance);
+        assert!(d.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+
+    #[test]
+    fn ring_wraps_keeping_newest() {
+        let r = FlightRecorder::new();
+        for i in 0..(RING_SLOTS as u64 + 10) {
+            r.record(EventKind::OpBegin, i, 0);
+        }
+        let d = r.dump(usize::MAX);
+        assert_eq!(d.len(), RING_SLOTS, "ring holds exactly RING_SLOTS");
+        // The oldest 10 were overwritten; the newest survive in order.
+        assert_eq!(d.first().unwrap().a, 10);
+        assert_eq!(d.last().unwrap().a, RING_SLOTS as u64 + 9);
+        assert!(d.windows(2).all(|w| w[1].a == w[0].a + 1));
+    }
+
+    #[test]
+    fn dump_respects_bound() {
+        let r = FlightRecorder::new();
+        for i in 0..20 {
+            r.record(EventKind::OpCommit, i, 0);
+        }
+        let d = r.dump(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.last().unwrap().a, 19, "bound keeps the newest");
+        assert_eq!(d.first().unwrap().a, 15);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let e = FlightEvent {
+            t_ns: 42,
+            tid: 3,
+            kind: EventKind::OpAbort,
+            a: 5,
+            b: 1 + crate::esys::OLD_SEE_NEW as u64,
+        };
+        let s = e.render();
+        assert!(s.contains("OpAbort"), "{s}");
+        assert!(s.contains("old_see_new(0xa1)"), "{s}");
+        let f = FlightEvent {
+            t_ns: 1,
+            tid: 0,
+            kind: EventKind::FaultInjected,
+            a: 7,
+            b: 0,
+        };
+        assert!(f.render().contains("kind=clwb"));
+    }
+
+    #[test]
+    fn json_parser_round_trips_values() {
+        let text = r#"{"a":1,"b":[1,2.5,-3],"c":{"d":"x\ny","e":true,"f":null},"g":""}"#;
+        let v = JsonValue::parse(text).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().as_arr().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(v.get("c").unwrap().get("d").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("c").unwrap().get("e"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("c").unwrap().get("f"), Some(&JsonValue::Null));
+        assert_eq!(v.get("g").unwrap().as_str(), Some(""));
+        assert!(JsonValue::parse("{").is_err());
+        assert!(JsonValue::parse("{}x").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+    }
+}

@@ -27,9 +27,12 @@
 //! 39–41.
 
 use crate::esys::{EpochSys, PreallocSlots, OLD_SEE_NEW};
+use crate::obs::{EventKind, ABORT_RESTART, ABORT_UNWIND};
 use htm_sim::RunError;
 use nvm_sim::NvmAddr;
 use persist_alloc::{Header, CLASS_WORDS};
+use std::cell::Cell;
+use std::time::Instant;
 
 /// A deferred fix-up an operation wants to run *after* its registration
 /// is cleanly aborted but *before* the retry (e.g. BD-Spash splitting a
@@ -132,6 +135,11 @@ pub struct OpGuard<'a> {
     epoch: u64,
     prealloc: Option<(&'a PreallocSlots, NvmAddr)>,
     armed: bool,
+    /// Flight-recorder tag for [`OpGuard::abort`]; the unwind default
+    /// distinguishes drop-glue aborts from deliberate restarts.
+    abort_tag: Cell<u64>,
+    /// Restart count reported with the commit event (set by `run_op`).
+    restarts: Cell<u64>,
 }
 
 impl<'a> OpGuard<'a> {
@@ -139,12 +147,15 @@ impl<'a> OpGuard<'a> {
     /// is given, takes the thread's spare block (Listing 1 lines 7–12).
     pub fn begin(esys: &'a EpochSys, prealloc: Option<&'a PreallocSlots>) -> OpGuard<'a> {
         let epoch = esys.begin_op();
+        esys.obs().event(EventKind::OpBegin, epoch, 0);
         let prealloc = prealloc.map(|slots| (slots, slots.take(esys)));
         OpGuard {
             esys,
             epoch,
             prealloc,
             armed: true,
+            abort_tag: Cell::new(ABORT_UNWIND),
+            restarts: Cell::new(0),
         }
     }
 
@@ -174,6 +185,9 @@ impl<'a> OpGuard<'a> {
     /// buffered tracking (Listing 1 lines 39–41).
     pub fn abort(mut self) {
         self.armed = false;
+        self.esys
+            .obs()
+            .event(EventKind::OpAbort, self.epoch, self.abort_tag.get());
         if let Some((slots, blk)) = self.prealloc {
             slots.put_back(self.esys, blk);
         }
@@ -185,6 +199,9 @@ impl<'a> OpGuard<'a> {
     /// result.
     pub fn finish<R>(mut self, effects: CommitEffects<R>) -> R {
         self.armed = false;
+        self.esys
+            .obs()
+            .event(EventKind::OpCommit, self.epoch, self.restarts.get());
         if let Some(old) = effects.retire {
             self.esys.p_retire(old);
         }
@@ -216,6 +233,9 @@ impl Drop for OpGuard<'_> {
         // an abort so a panic mid-operation — e.g. an injected crash —
         // leaves no stale announcement and no stale-epoch block.
         if self.armed {
+            self.esys
+                .obs()
+                .event(EventKind::OpAbort, self.epoch, ABORT_UNWIND);
             if let Some((slots, blk)) = self.prealloc {
                 slots.put_back(self.esys, blk);
             }
@@ -248,11 +268,20 @@ pub fn run_op<'a, R>(
     prealloc: Option<&'a PreallocSlots>,
     mut body: impl FnMut(&OpGuard<'a>) -> Result<OpStep<'a, R>, RunError>,
 ) -> R {
+    let t0 = Instant::now();
+    let mut restarts = 0u64;
     loop {
         let op = OpGuard::begin(esys, prealloc);
+        op.restarts.set(restarts);
         match body(&op) {
-            Ok(OpStep::Commit(effects)) => return op.finish(effects),
+            Ok(OpStep::Commit(effects)) => {
+                let obs = esys.obs();
+                obs.op_latency_ns.record(t0.elapsed().as_nanos() as u64);
+                obs.op_restarts.record(restarts);
+                return op.finish(effects);
+            }
             Ok(OpStep::Restart(fixup)) => {
+                op.abort_tag.set(ABORT_RESTART);
                 op.abort();
                 if let Some(f) = fixup {
                     f();
@@ -263,9 +292,11 @@ pub fn run_op<'a, R>(
                     code, OLD_SEE_NEW,
                     "unhandled explicit abort code {code:#x} escaped an operation body"
                 );
+                op.abort_tag.set(1 + code as u64);
                 op.abort();
             }
         }
+        restarts += 1;
     }
 }
 

@@ -111,7 +111,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(120));
         ticker.stop();
         assert_eq!(
-            es.stats().advance_failures.load(Ordering::Relaxed),
+            es.stats().snapshot().advance_failures,
             10,
             "every injected failure must have been consumed"
         );

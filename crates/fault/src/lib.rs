@@ -17,6 +17,7 @@
 pub mod sweep;
 
 pub use sweep::{
-    digest_reports, enumerate_points, pinned_digest, replay, seed_from_env, silence_crash_panics,
-    sweep, sweep_all, ReplayVerdict, SweepConfig, SweepReport, SweepTarget, UNIVERSE_BITS,
+    digest_reports, enumerate_points, pinned_digest, replay, replay_with_dump, seed_from_env,
+    silence_crash_panics, sweep, sweep_all, ReplayVerdict, SweepConfig, SweepReport, SweepTarget,
+    UNIVERSE_BITS,
 };

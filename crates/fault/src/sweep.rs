@@ -33,10 +33,11 @@
 //! from the `FAULT_SEED` environment variable) produces the same
 //! workload, the same crash-point schedule, and the same verdicts.
 
+use bdhtm_core::obs::EventKind;
 use bdhtm_core::{EpochConfig, EpochSys};
 use hashtable::BdSpash;
 use htm_sim::{Htm, HtmConfig, SplitMix64};
-use nvm_sim::{CrashImage, CrashTriggered, FaultPlan, NvmConfig, NvmHeap};
+use nvm_sim::{CrashImage, CrashPointKind, CrashTriggered, FaultPlan, NvmConfig, NvmHeap};
 use skiplist::BdlSkiplist;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -171,6 +172,12 @@ pub struct SweepReport {
     pub double_crashes: u64,
     /// Prefix-property or invariant violations, one line each.
     pub failures: Vec<String>,
+    /// Flight-recorder dump of the *first* failing replay: the last
+    /// lifecycle events the crashed run recorded before the fault fired,
+    /// rendered one per line. Empty when the sweep passed. Deliberately
+    /// excluded from [`digest_reports`] — timing-dependent text must not
+    /// perturb the behavior-preservation digest.
+    pub flight_dump: Vec<String>,
 }
 
 impl SweepReport {
@@ -267,14 +274,19 @@ pub fn enumerate_points<T: SweepTarget>(cfg: &SweepConfig) -> u64 {
     plan.points()
 }
 
+/// Events kept when a failing replay dumps its flight recorder.
+const FLIGHT_DUMP_EVENTS: usize = 32;
+
 /// Runs the workload with a crash armed at `point`; returns the crash
-/// image, the mutation log, and whether the point fired. A point at or
-/// beyond the schedule's end degenerates to a crash after the final
-/// operation — still a legal crash.
+/// image, the mutation log, whether the point fired, and the crashed
+/// run's rendered flight-recorder tail (the postmortem context a
+/// failing replay attaches to its report). A point at or beyond the
+/// schedule's end degenerates to a crash after the final operation —
+/// still a legal crash.
 fn crash_at<T: SweepTarget>(
     cfg: &SweepConfig,
     point: u64,
-) -> (CrashImage, Vec<(u64, Mutation)>, bool) {
+) -> (CrashImage, Vec<(u64, Mutation)>, bool, Vec<String>) {
     let (heap, esys, t) = setup::<T>(cfg);
     let mut plan = FaultPlan::crash_at(point);
     if cfg.torn {
@@ -288,16 +300,44 @@ fn crash_at<T: SweepTarget>(
     }));
     heap.disarm_fault_plan();
     match outcome {
-        Ok(()) => (heap.crash(), log, false),
+        Ok(()) => {
+            let dump = render_dump(&esys);
+            (heap.crash(), log, false, dump)
+        }
         Err(payload) => {
-            assert!(
-                payload.downcast_ref::<CrashTriggered>().is_some(),
-                "workload panicked with something other than an injected crash"
+            let crash = payload
+                .downcast_ref::<CrashTriggered>()
+                .expect("workload panicked with something other than an injected crash");
+            // Record the fault into the crashed run's flight recorder so
+            // the postmortem dump shows it in sequence with the lifecycle
+            // events that led up to it.
+            esys.obs().event(
+                EventKind::FaultInjected,
+                crash.point,
+                crash_kind_code(crash.kind),
             );
+            let dump = render_dump(&esys);
             let img = plan.take_image().expect("fired plan must capture an image");
-            (img, log, true)
+            (img, log, true, dump)
         }
     }
+}
+
+fn crash_kind_code(kind: CrashPointKind) -> u64 {
+    match kind {
+        CrashPointKind::Clwb => 0,
+        CrashPointKind::Fence => 1,
+        CrashPointKind::FormatLine => 2,
+        CrashPointKind::EvictLine => 3,
+    }
+}
+
+fn render_dump(esys: &EpochSys) -> Vec<String> {
+    esys.obs()
+        .dump(FLIGHT_DUMP_EVENTS)
+        .iter()
+        .map(|e| e.render())
+        .collect()
 }
 
 /// Recovers `img` and returns the recovered system, target, and frontier.
@@ -389,8 +429,18 @@ fn check_recovered<T: SweepTarget>(
 /// recovery too, recover, and check the e−2 prefix property plus the
 /// structure's invariants.
 pub fn replay<T: SweepTarget>(cfg: &SweepConfig, point: u64) -> Result<ReplayVerdict, String> {
+    replay_with_dump::<T>(cfg, point).map_err(|(msg, _dump)| msg)
+}
+
+/// [`replay`], but a failure also carries the crashed run's rendered
+/// flight-recorder tail (used by [`sweep`] to populate
+/// [`SweepReport::flight_dump`]).
+pub fn replay_with_dump<T: SweepTarget>(
+    cfg: &SweepConfig,
+    point: u64,
+) -> Result<ReplayVerdict, (String, Vec<String>)> {
     silence_crash_panics();
-    let (img, log, fired) = crash_at::<T>(cfg, point);
+    let (img, log, fired, dump) = crash_at::<T>(cfg, point);
     let mut double_crashed = false;
     let img = if cfg.double_crash {
         match crash_during_recovery::<T>(cfg, &img, point) {
@@ -414,7 +464,7 @@ pub fn replay<T: SweepTarget>(cfg: &SweepConfig, point: u64) -> Result<ReplayVer
         },
     );
     let (_esys, t, frontier) = recover::<T>(img);
-    check_recovered(&t, &log, frontier, cfg, &ctx)?;
+    check_recovered(&t, &log, frontier, cfg, &ctx).map_err(|msg| (msg, dump))?;
     Ok(ReplayVerdict {
         fired,
         double_crashed,
@@ -441,15 +491,21 @@ pub fn sweep<T: SweepTarget>(cfg: &SweepConfig) -> SweepReport {
         fired: 0,
         double_crashes: 0,
         failures: Vec::new(),
+        flight_dump: Vec::new(),
     };
     for point in chosen_points(points, cfg.max_replays) {
         report.replays += 1;
-        match replay::<T>(cfg, point) {
+        match replay_with_dump::<T>(cfg, point) {
             Ok(v) => {
                 report.fired += v.fired as u64;
                 report.double_crashes += v.double_crashed as u64;
             }
-            Err(e) => report.failures.push(e),
+            Err((e, dump)) => {
+                if report.failures.is_empty() {
+                    report.flight_dump = dump;
+                }
+                report.failures.push(e);
+            }
         }
     }
     report
@@ -528,6 +584,25 @@ mod tests {
         let cfg = SweepConfig::quick(21);
         let v = replay::<BdSpash>(&cfg, 5).expect("replay at point 5");
         assert!(v.fired, "an early point must fire");
+    }
+
+    #[test]
+    fn crashed_run_dump_ends_with_the_injected_fault() {
+        silence_crash_panics();
+        let cfg = SweepConfig::quick(21);
+        let (_img, _log, fired, dump) = crash_at::<BdSpash>(&cfg, 5);
+        assert!(fired, "an early point must fire");
+        assert!(!dump.is_empty(), "a crashed run must leave flight events");
+        assert!(
+            dump.last().unwrap().contains("FaultInjected"),
+            "the injected crash must be the newest event: {:?}",
+            dump.last()
+        );
+        assert!(
+            dump.iter()
+                .any(|l| l.contains("OpBegin") || l.contains("OpCommit")),
+            "lifecycle events must precede the fault"
+        );
     }
 
     #[test]

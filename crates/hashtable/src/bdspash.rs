@@ -634,18 +634,10 @@ mod tests {
             delta.lines_written_back
         );
         // And the epoch flusher has (almost) nothing left to do for them.
-        let flushed_before = t
-            .epoch_sys()
-            .stats()
-            .blocks_persisted
-            .load(Ordering::Relaxed);
+        let flushed_before = t.epoch_sys().stats().snapshot().blocks_persisted;
         t.epoch_sys().advance();
         t.epoch_sys().advance();
-        let flushed_after = t
-            .epoch_sys()
-            .stats()
-            .blocks_persisted
-            .load(Ordering::Relaxed);
+        let flushed_after = t.epoch_sys().stats().snapshot().blocks_persisted;
         assert_eq!(
             flushed_after - flushed_before,
             0,

@@ -4,6 +4,7 @@
 use crate::access::{LockedAccess, MemAccess};
 use crate::config::HtmConfig;
 use crate::fallback::FallbackLock;
+use crate::hist::LogHistogram;
 use crate::stats::HtmStats;
 use crate::stripe::StripeTable;
 use crate::txn::{AbortCause, TxResult, Txn};
@@ -103,6 +104,9 @@ pub fn versioned_store(cell: &AtomicU64, val: u64) {
 pub struct Htm {
     config: HtmConfig,
     stats: HtmStats,
+    /// Spin counts of non-zero backoff waits in the retry loop
+    /// (unit: spins). Empty at the default `backoff_spins = 0`.
+    backoff_hist: LogHistogram,
     spurious_threshold: u64,
     memtype_threshold: u64,
     /// SplitMix64 state of the deterministic abort injector (advanced
@@ -170,6 +174,7 @@ impl Htm {
         let _ = global_table();
         Htm {
             stats: HtmStats::new(),
+            backoff_hist: LogHistogram::new(),
             spurious_threshold: prob_to_threshold(config.spurious_abort_prob),
             memtype_threshold: prob_to_threshold(config.memtype_abort_prob),
             inject_state: AtomicU64::new(config.abort_inject_seed),
@@ -231,6 +236,11 @@ impl Htm {
     /// Outcome statistics (Fig. 2 data).
     pub fn stats(&self) -> &HtmStats {
         &self.stats
+    }
+
+    /// Histogram of retry-loop backoff waits, in spins.
+    pub fn backoff_hist(&self) -> &LogHistogram {
+        &self.backoff_hist
     }
 
     /// True if the fallback lock the current thread's transaction
@@ -417,6 +427,7 @@ impl Htm {
             return;
         }
         let spins = (base as u64) << retries.min(10);
+        self.backoff_hist.record(spins);
         for _ in 0..spins {
             std::hint::spin_loop();
         }
@@ -628,5 +639,8 @@ mod tests {
         let s = htm.stats().snapshot();
         assert_eq!(s.fallbacks, 50, "all ops must use the fallback path");
         assert_eq!(s.commits, 0);
+        let bh = htm.backoff_hist().snapshot();
+        assert_eq!(bh.count, 50 * 3, "one backoff per burned retry slot");
+        assert_eq!(bh.max, 4 << 3, "base 4 doubled over three retries");
     }
 }

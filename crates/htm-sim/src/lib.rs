@@ -56,6 +56,7 @@ mod access;
 mod config;
 pub mod ebr;
 mod fallback;
+pub mod hist;
 mod htm;
 pub mod rng;
 mod stats;
@@ -67,6 +68,7 @@ mod txn;
 pub use access::{LockedAccess, MemAccess};
 pub use config::HtmConfig;
 pub use fallback::FallbackLock;
+pub use hist::{HistSnapshot, LogHistogram, HIST_BUCKETS};
 pub use htm::{suppress_memtype_once, versioned_store, versioned_store_slice, Htm, RunError};
 pub use rng::SplitMix64;
 pub use stats::{HtmStats, StatsSnapshot};

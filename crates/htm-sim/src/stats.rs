@@ -126,12 +126,14 @@ impl StatsSnapshot {
     }
 
     /// Difference of two snapshots (self - earlier), for measuring a phase.
+    /// Saturating per field: a `reset()` between the two snapshots yields
+    /// zeros instead of a debug-build underflow panic.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         let mut s = *self;
-        s.commits -= earlier.commits;
-        s.fallbacks -= earlier.fallbacks;
+        s.commits = s.commits.saturating_sub(earlier.commits);
+        s.fallbacks = s.fallbacks.saturating_sub(earlier.fallbacks);
         for i in 0..N_CAUSES {
-            s.aborts[i] -= earlier.aborts[i];
+            s.aborts[i] = s.aborts[i].saturating_sub(earlier.aborts[i]);
         }
         s
     }
@@ -163,5 +165,18 @@ mod tests {
         st.record_commit();
         st.reset();
         assert_eq!(st.snapshot().attempts(), 0);
+    }
+
+    #[test]
+    fn since_saturates_across_reset() {
+        let st = HtmStats::new();
+        st.record_commit();
+        st.record_abort(AbortCause::Conflict);
+        let before = st.snapshot();
+        st.reset();
+        st.record_commit();
+        let d = st.snapshot().since(&before);
+        assert_eq!(d.commits, 0);
+        assert_eq!(d.total_aborts(), 0);
     }
 }

@@ -155,17 +155,38 @@ impl NvmStatsSnapshot {
         self.media_bytes() as f64 / logical as f64
     }
 
-    /// Difference of two snapshots (self - earlier).
+    /// Difference of two snapshots (self - earlier). Saturating per
+    /// field: a `reset()` between the two snapshots yields zeros instead
+    /// of a debug-build underflow panic.
     pub fn since(&self, e: &NvmStatsSnapshot) -> NvmStatsSnapshot {
         NvmStatsSnapshot {
-            reads: self.reads - e.reads,
-            writes: self.writes - e.writes,
-            cas_ops: self.cas_ops - e.cas_ops,
-            flushes: self.flushes - e.flushes,
-            lines_written_back: self.lines_written_back - e.lines_written_back,
-            xplines_touched: self.xplines_touched - e.xplines_touched,
-            fences: self.fences - e.fences,
-            evicted_lines: self.evicted_lines - e.evicted_lines,
+            reads: self.reads.saturating_sub(e.reads),
+            writes: self.writes.saturating_sub(e.writes),
+            cas_ops: self.cas_ops.saturating_sub(e.cas_ops),
+            flushes: self.flushes.saturating_sub(e.flushes),
+            lines_written_back: self.lines_written_back.saturating_sub(e.lines_written_back),
+            xplines_touched: self.xplines_touched.saturating_sub(e.xplines_touched),
+            fences: self.fences.saturating_sub(e.fences),
+            evicted_lines: self.evicted_lines.saturating_sub(e.evicted_lines),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_saturates_across_reset() {
+        let st = NvmStats::new();
+        st.record_write();
+        st.record_writeback(3);
+        let before = st.snapshot();
+        st.reset();
+        st.record_write();
+        let d = st.snapshot().since(&before);
+        assert_eq!(d.writes, 0);
+        assert_eq!(d.flushes, 0);
+        assert_eq!(d.xplines_touched, 0);
     }
 }

@@ -88,11 +88,10 @@ fn main() {
         "NVM: {} flushes, {} fences, {} XPLines, {} evicted lines",
         n.flushes, n.fences, n.xplines_touched, n.evicted_lines
     );
+    let e = esys.stats().snapshot();
     println!(
         "epoch system: {} advances, {} blocks persisted in background, {} reclaimed",
-        esys.stats().advances.load(Ordering::Relaxed),
-        esys.stats().blocks_persisted.load(Ordering::Relaxed),
-        esys.stats().blocks_reclaimed.load(Ordering::Relaxed),
+        e.advances, e.blocks_persisted, e.blocks_reclaimed,
     );
     println!(
         "NVM space in use: {:.1} MiB",

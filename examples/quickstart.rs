@@ -6,11 +6,26 @@
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! cargo run --release --example quickstart -- --metrics-json m.json
 //! ```
 
 use bd_htm::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Optional `--metrics-json <path>` / `--metrics-json=<path>` argument.
+fn metrics_path() -> Option<String> {
+    let mut path = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics-json" {
+            path = args.next();
+        } else if let Some(p) = a.strip_prefix("--metrics-json=") {
+            path = Some(p.to_string());
+        }
+    }
+    path
+}
 
 fn main() {
     // 64 MiB of simulated NVM, zero added latency (semantics only).
@@ -55,6 +70,16 @@ fn main() {
         nvm.xplines_touched,
         nvm.write_amplification()
     );
+
+    // One unified report covering the whole pre-crash run: HTM, NVM
+    // traffic, epoch stats, allocator footprint, latency histograms.
+    if let Some(path) = metrics_path() {
+        let mut registry = MetricsRegistry::new();
+        registry.attach_htm(Arc::clone(&htm));
+        registry.attach_esys(Arc::clone(&esys));
+        std::fs::write(&path, registry.report().to_json()).expect("write metrics report");
+        println!("metrics written to {path}");
+    }
 
     // Full-system crash: everything not written back to media is lost.
     println!("simulating a crash...");

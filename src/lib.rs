@@ -71,13 +71,14 @@ pub use ycsb_gen;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use bdhtm_core::{
-        run_op, BdlKv, CommitEffects, EpochConfig, EpochSys, EpochTicker, LiveBlock, OpGuard,
-        OpStep, UpdateKind, KV_UNIVERSE_BITS,
+        run_op, BdlKv, CommitEffects, EpochConfig, EpochSys, EpochTicker, EventKind, FlightEvent,
+        JsonValue, LiveBlock, MetricsRegistry, MetricsReport, OpGuard, OpStep, UpdateKind,
+        KV_UNIVERSE_BITS,
     };
     pub use btree::{ElimAbTree, LbTree, OccAbTree};
     pub use fault::{SweepConfig, SweepReport, SweepTarget};
     pub use hashtable::{BdSpash, BdhtHashMap, Cceh, Plush, Spash};
-    pub use htm_sim::{AbortCause, FallbackLock, Htm, HtmConfig, MemAccess};
+    pub use htm_sim::{AbortCause, FallbackLock, HistSnapshot, Htm, HtmConfig, MemAccess};
     pub use mwcas::{HtmMwCas, MwCasPool, MwTarget};
     pub use nvm_sim::{CrashImage, NvmAddr, NvmConfig, NvmHeap};
     pub use skiplist::{BdlSkiplist, DlSkiplist, PersistMode};
