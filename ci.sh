@@ -40,7 +40,24 @@ if [ "$DIGEST" != "$EXPECTED" ]; then
 fi
 echo "digest $DIGEST == $EXPECTED"
 
-echo "==> fault sweep smoke (pinned FAULT_SEED)"
+echo "==> fault sweep smoke (pinned FAULT_SEED, incl. pipelined modes)"
 FAULT_SEED=0xBD15EED ./target/release/fault_sweep --ops 160 --replays 40
+
+echo "==> persist-pipeline perf gate (fig7 sync vs pipelined)"
+# Short fig7 runs in both persistence modes; the pipelined advance_ns
+# p99 must beat the synchronous one and write amplification must not
+# regress (seal-time dedup). Timing gate: retried once before failing.
+run_fig7_compare() {
+    BDHTM_SECS=0.25 BDHTM_SCALE=12 BDHTM_THREADS=1 \
+        ./target/release/fig7_epoch_length --pipeline=sync \
+        --metrics-json target/fig7-sync.json >/dev/null
+    BDHTM_SECS=0.25 BDHTM_SCALE=12 BDHTM_THREADS=1 \
+        ./target/release/fig7_epoch_length --pipeline=bg \
+        --metrics-json target/fig7-bg.json >/dev/null
+    ./target/release/metrics_check --compare-pipeline \
+        target/fig7-sync.json target/fig7-bg.json --out BENCH_pipeline.json
+}
+run_fig7_compare || { echo "retrying pipeline perf gate once"; run_fig7_compare; }
+echo "pipeline comparison written to BENCH_pipeline.json"
 
 echo "==> ci.sh: all gates passed"

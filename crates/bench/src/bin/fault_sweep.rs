@@ -19,13 +19,15 @@
 //! seed reproduces the same workload, crash schedule, and verdicts.
 //! Exits nonzero if any replay fails.
 
-use fault::{pinned_digest, seed_from_env, sweep_all, SweepConfig, SweepReport};
+use fault::{
+    pinned_digest, seed_from_env, sweep_all, sweep_all_pipelined, SweepConfig, SweepReport,
+};
 use htm_sim::HtmConfig;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fault_sweep [--seed N] [--ops N] [--replays N] \
-         [--modes plain,torn,double,aborts] [--digest]"
+         [--modes plain,torn,double,aborts,pipelined,pipelined-torn] [--digest]"
     );
     std::process::exit(2);
 }
@@ -35,10 +37,17 @@ fn main() {
     let mut ops = 240usize;
     let mut replays = 150u64;
     let mut digest = false;
-    let mut modes: Vec<String> = ["plain", "torn", "double", "aborts"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let mut modes: Vec<String> = [
+        "plain",
+        "torn",
+        "double",
+        "aborts",
+        "pipelined",
+        "pipelined-torn",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -74,9 +83,14 @@ fn main() {
 
     let mut failed = false;
     for mode in &modes {
+        // `pipelined*` modes drive the background-persist crash sweep:
+        // epoch advances only seal batches, write-backs and frontier
+        // publishes happen on a deterministic stand-in for the
+        // persister, and crashes land while batches are in flight.
+        let pipelined = mode.starts_with("pipelined");
         let cfg = match mode.as_str() {
-            "plain" => base.clone(),
-            "torn" => base.clone().with_torn_writes(),
+            "plain" | "pipelined" => base.clone(),
+            "torn" | "pipelined-torn" => base.clone().with_torn_writes(),
             "double" => base.clone().with_torn_writes().with_double_crash(),
             "aborts" => base.clone().with_htm(
                 HtmConfig::for_tests()
@@ -88,7 +102,12 @@ fn main() {
                 usage()
             }
         };
-        for report in sweep_all(&cfg) {
+        let reports = if pipelined {
+            sweep_all_pipelined(&cfg)
+        } else {
+            sweep_all(&cfg)
+        };
+        for report in reports {
             print_report(mode, &report);
             if !report.passed() {
                 failed = true;

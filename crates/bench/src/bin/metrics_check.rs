@@ -6,10 +6,20 @@
 //! ```sh
 //! cargo run --release -q --example quickstart -- --metrics-json m.json
 //! cargo run --release -p bench --bin metrics_check -- m.json
+//! cargo run --release -p bench --bin metrics_check -- \
+//!     --compare-pipeline sync.json pipe.json --out BENCH_pipeline.json
 //! ```
 //!
 //! Exits 0 and prints a one-line summary on success; exits 1 with a
 //! diagnostic on the first violated invariant.
+//!
+//! `--compare-pipeline` validates two reports from the same workload —
+//! one with synchronous (inline) epoch persistence, one with the
+//! background persister — and gates the pipeline's perf claims:
+//! pipelined `advance_ns` p99 must beat the synchronous p99, and the
+//! seal-time dedup means write amplification must not regress (≤ 1.10×
+//! the synchronous run's). The comparison is written as JSON to the
+//! `--out` path.
 
 use bdhtm_core::obs::{JsonValue, METRICS_SCHEMA, METRICS_VERSION};
 
@@ -63,12 +73,11 @@ fn check_hist(name: &str, h: &JsonValue) {
     }
 }
 
-fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| fail("usage: metrics_check <report.json>"));
-    let text = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+/// Loads a report and runs every single-file invariant check on it.
+/// Returns the parsed document plus the summary fragments.
+fn load_and_check(path: &str) -> (JsonValue, Vec<String>) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
     let doc = JsonValue::parse(&text).unwrap_or_else(|e| fail(&format!("invalid JSON: {e}")));
 
     // Schema header.
@@ -131,5 +140,94 @@ fn main() {
         _ => fail("histograms is not an object"),
     }
 
+    (doc, summary)
+}
+
+/// Pulls `histograms.<name>.<field>` out of a validated report.
+fn hist_u64(doc: &JsonValue, ctx: &str, name: &str, field: &str) -> u64 {
+    let h = req(doc, "histograms")
+        .get(name)
+        .unwrap_or_else(|| fail(&format!("{ctx}: missing histogram {name:?}")));
+    req_u64(h, field)
+}
+
+fn write_amplification(doc: &JsonValue, ctx: &str) -> f64 {
+    let nvm = doc
+        .get("nvm")
+        .unwrap_or_else(|| fail(&format!("{ctx}: report has no nvm section")));
+    req(nvm, "write_amplification")
+        .as_f64()
+        .unwrap_or_else(|| fail(&format!("{ctx}: write_amplification is not a number")))
+}
+
+/// The sync-vs-pipelined perf gate (see module docs).
+fn compare_pipeline(sync_path: &str, pipe_path: &str, out: Option<&str>) {
+    let (sync_doc, _) = load_and_check(sync_path);
+    let (pipe_doc, _) = load_and_check(pipe_path);
+
+    let sync_n = hist_u64(&sync_doc, sync_path, "advance_ns", "count");
+    let pipe_n = hist_u64(&pipe_doc, pipe_path, "advance_ns", "count");
+    if sync_n == 0 || pipe_n == 0 {
+        fail(&format!(
+            "advance_ns is empty (sync count={sync_n}, pipelined count={pipe_n}); \
+             the runs must actually advance epochs for the comparison to mean anything"
+        ));
+    }
+    let sync_p99 = hist_u64(&sync_doc, sync_path, "advance_ns", "p99");
+    let pipe_p99 = hist_u64(&pipe_doc, pipe_path, "advance_ns", "p99");
+    if pipe_p99 >= sync_p99 {
+        fail(&format!(
+            "pipelined advance_ns p99 ({pipe_p99} ns) does not beat synchronous ({sync_p99} ns)"
+        ));
+    }
+
+    let sync_wa = write_amplification(&sync_doc, sync_path);
+    let pipe_wa = write_amplification(&pipe_doc, pipe_path);
+    if pipe_wa > sync_wa * 1.10 {
+        fail(&format!(
+            "pipelined write_amplification ({pipe_wa:.4}) regresses past 1.10x synchronous ({sync_wa:.4})"
+        ));
+    }
+
+    let json = format!(
+        "{{\"comparison\":\"pipeline\",\"sync\":{{\"advance_ns_p99\":{sync_p99},\
+         \"advance_ns_count\":{sync_n},\"write_amplification\":{sync_wa:.6}}},\
+         \"pipelined\":{{\"advance_ns_p99\":{pipe_p99},\"advance_ns_count\":{pipe_n},\
+         \"write_amplification\":{pipe_wa:.6}}},\
+         \"advance_p99_speedup\":{:.4}}}",
+        sync_p99 as f64 / pipe_p99.max(1) as f64
+    );
+    if let Some(path) = out {
+        std::fs::write(path, &json).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    }
+    println!(
+        "metrics_check: pipeline OK (advance p99 {sync_p99} -> {pipe_p99} ns, \
+         WA {sync_wa:.3} -> {pipe_wa:.3})"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--compare-pipeline") {
+        let mut rest = args[1..].iter();
+        let sync_path = rest.next();
+        let pipe_path = rest.next();
+        let (Some(sync_path), Some(pipe_path)) = (sync_path, pipe_path) else {
+            fail("usage: metrics_check --compare-pipeline <sync.json> <pipelined.json> [--out <path>]");
+        };
+        let mut out = None;
+        while let Some(a) = rest.next() {
+            match a.as_str() {
+                "--out" => out = rest.next().map(String::as_str),
+                other => fail(&format!("unknown argument {other:?}")),
+            }
+        }
+        compare_pipeline(sync_path, pipe_path, out);
+        return;
+    }
+    let Some(path) = args.first() else {
+        fail("usage: metrics_check <report.json> | metrics_check --compare-pipeline ...");
+    };
+    let (_, summary) = load_and_check(path);
     println!("metrics_check: OK ({})", summary.join(", "));
 }

@@ -7,7 +7,7 @@
 //! cargo run --release -p bench --bin recovery_time
 //! ```
 
-use bdhtm_core::{EpochConfig, EpochSys};
+use bdhtm_core::{EpochConfig, EpochSys, Persister};
 use bench::{scale_down_bits, thread_counts, MetricsSink};
 use hashtable::BdSpash;
 use htm_sim::{Htm, HtmConfig};
@@ -30,9 +30,12 @@ fn main() {
     );
 
     for kind in ["PHTM-vEB", "BDL-Skiplist", "BD-Spash"] {
-        // Build, fill, persist, crash.
+        // Build, fill (pipelined: a persister writes batches back while
+        // the fill keeps inserting; flush_all below waits on the durable
+        // frontier, not on inline write-backs), persist, crash.
         let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(1 << 30)));
         let esys = EpochSys::format(Arc::clone(&heap), EpochConfig::default());
+        let persister = Persister::spawn(Arc::clone(&esys));
         let htm = Arc::new(Htm::new(HtmConfig::default()));
         let ubits = 64 - (records * 2 - 1).leading_zeros();
         match kind {
@@ -57,6 +60,7 @@ fn main() {
         }
         esys.flush_all();
         esys.advance();
+        persister.stop(); // drains any tail batch before the crash
         let image = heap.crash();
 
         for threads in [1usize, par] {

@@ -20,6 +20,20 @@ pub struct EpochConfig {
     /// helps advance the epoch, so dirty-set growth stays bounded even
     /// if the background ticker stalls. `0` disables backpressure.
     pub max_buffered_words: u64,
+    /// Maximum sealed [`EpochBatch`](crate::EpochBatch)es in flight
+    /// (queued or being written back) when a
+    /// [`Persister`](crate::Persister) is attached. When the pipeline is
+    /// full, [`EpochSys::advance`](crate::EpochSys::advance) stalls the
+    /// *clock* — never the persister — until a batch completes, so the
+    /// durable frontier can lag the clock by at most
+    /// `pipeline_depth + 2`. Values below 1 behave as 1.
+    pub pipeline_depth: usize,
+    /// Whether an attached [`Persister`](crate::Persister) is actually
+    /// used. When `false`, every advance persists its batch inline on
+    /// the advancing thread (the pre-pipeline behavior) even if a
+    /// persister worker is running — deterministic tests can keep the
+    /// full production topology while forcing synchronous write-back.
+    pub background_persist: bool,
 }
 
 impl Default for EpochConfig {
@@ -28,6 +42,8 @@ impl Default for EpochConfig {
             epoch_len: Duration::from_millis(50),
             advance_retries: 3,
             max_buffered_words: 0,
+            pipeline_depth: 2,
+            background_persist: true,
         }
     }
 }
@@ -55,6 +71,21 @@ impl EpochConfig {
     /// operation above the bound help advance the epoch first.
     pub fn with_max_buffered_words(mut self, words: u64) -> Self {
         self.max_buffered_words = words;
+        self
+    }
+
+    /// Bounds the persist pipeline: at most `depth` sealed batches may
+    /// be in flight before `advance` stalls the clock.
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
+    /// Enables or disables use of an attached
+    /// [`Persister`](crate::Persister) (see
+    /// [`EpochConfig::background_persist`]).
+    pub fn with_background_persist(mut self, on: bool) -> Self {
+        self.background_persist = on;
         self
     }
 }

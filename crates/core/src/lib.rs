@@ -88,8 +88,8 @@ mod ticker;
 
 pub use config::EpochConfig;
 pub use esys::{
-    payload, AdvanceFault, EpochStats, EpochStatsSnapshot, EpochSys, PreallocSlots, UpdateKind,
-    EMPTY_EPOCH, EPOCH_START, OLD_SEE_NEW,
+    payload, AdvanceFault, EpochBatch, EpochStats, EpochStatsSnapshot, EpochSys, PreallocSlots,
+    UpdateKind, EMPTY_EPOCH, EPOCH_START, OLD_SEE_NEW,
 };
 pub use kv::{BdlKv, KV_UNIVERSE_BITS};
 pub use obs::{
@@ -98,4 +98,4 @@ pub use obs::{
 pub use op::{run_op, CommitEffects, OpGuard, OpStep, RestartFn};
 pub use persist_alloc::INVALID_EPOCH;
 pub use recovery::LiveBlock;
-pub use ticker::EpochTicker;
+pub use ticker::{EpochTicker, Persister};

@@ -59,6 +59,15 @@ pub enum EventKind {
     /// The `nvm-sim` fault plan fired a crash point: `a` = point index,
     /// `b` = crash-point kind code.
     FaultInjected = 6,
+    /// An advance sealed an epoch's buffers into a batch: `a` = unique
+    /// blocks after dedup, `b` = accounted words.
+    BatchSealed = 7,
+    /// The persister finished a batch and published the frontier:
+    /// `a` = new frontier epoch, `b` = blocks written back.
+    BatchPersisted = 8,
+    /// The persist pipeline was full and the advance stalled the clock:
+    /// `a` = batches in flight, `b` = configured depth.
+    PipelineStall = 9,
 }
 
 /// [`EventKind::OpAbort`] tag: the structure requested a restart.
@@ -76,6 +85,9 @@ impl EventKind {
             4 => Some(EventKind::PersistBatch),
             5 => Some(EventKind::Backpressure),
             6 => Some(EventKind::FaultInjected),
+            7 => Some(EventKind::BatchSealed),
+            8 => Some(EventKind::BatchPersisted),
+            9 => Some(EventKind::PipelineStall),
             _ => None,
         }
     }
@@ -162,6 +174,15 @@ impl FlightEvent {
                     .copied()
                     .unwrap_or("?");
                 format!("FaultInjected point={} kind={}", self.a, kind)
+            }
+            EventKind::BatchSealed => {
+                format!("BatchSealed  blocks={} words={}", self.a, self.b)
+            }
+            EventKind::BatchPersisted => {
+                format!("BatchPersisted frontier={} blocks={}", self.a, self.b)
+            }
+            EventKind::PipelineStall => {
+                format!("PipelineStall in_flight={} depth={}", self.a, self.b)
             }
         };
         head + &body
@@ -255,6 +276,7 @@ pub struct Obs {
     pub(crate) op_restarts: LogHistogram,
     pub(crate) advance_ns: LogHistogram,
     pub(crate) persist_batch_blocks: LogHistogram,
+    pub(crate) batch_persist_ns: LogHistogram,
 }
 
 impl Default for Obs {
@@ -271,6 +293,7 @@ impl Obs {
             op_restarts: LogHistogram::new(),
             advance_ns: LogHistogram::new(),
             persist_batch_blocks: LogHistogram::new(),
+            batch_persist_ns: LogHistogram::new(),
         }
     }
 
@@ -303,6 +326,13 @@ impl Obs {
     /// Tracked blocks flushed per epoch transition.
     pub fn persist_batch_blocks(&self) -> &LogHistogram {
         &self.persist_batch_blocks
+    }
+
+    /// Background write-back duration per sealed batch, nanoseconds
+    /// (persister side; `advance_ns` no longer contains this work when
+    /// a persister is attached).
+    pub fn batch_persist_ns(&self) -> &LogHistogram {
+        &self.batch_persist_ns
     }
 }
 
@@ -411,6 +441,11 @@ impl MetricsRegistry {
                 name: "persist_batch_blocks",
                 unit: "blocks",
                 snap: obs.persist_batch_blocks.snapshot(),
+            });
+            histograms.push(NamedHist {
+                name: "batch_persist_ns",
+                unit: "ns",
+                snap: obs.batch_persist_ns.snapshot(),
             });
         }
         MetricsReport {
@@ -526,13 +561,15 @@ impl MetricsReport {
         if let Some(e) = &self.epoch {
             s.push_str(&format!(
                 ",\"epoch\":{{\"advances\":{},\"blocks_persisted\":{},\"words_persisted\":{},\
-                 \"blocks_reclaimed\":{},\"advance_failures\":{},\"backpressure_advances\":{}}}",
+                 \"blocks_reclaimed\":{},\"advance_failures\":{},\"backpressure_advances\":{},\
+                 \"pipeline_stalls\":{}}}",
                 e.advances,
                 e.blocks_persisted,
                 e.words_persisted,
                 e.blocks_reclaimed,
                 e.advance_failures,
                 e.backpressure_advances,
+                e.pipeline_stalls,
             ));
         }
         if let Some(a) = &self.alloc {

@@ -1,7 +1,15 @@
 //! Post-crash recovery: the §5.2 procedure.
 //!
 //! Recovery scans the NVM heap (via the allocator), reads the persisted
-//! epoch frontier `R`, and classifies every block:
+//! epoch frontier `R`, and classifies every block. `R` — not any
+//! function of the crash-time clock — is the recovery point: with the
+//! persist pipeline the clock may run up to `pipeline_depth` epochs
+//! ahead of the last fully persisted batch, so at crash time the
+//! frontier can lag the clock by more than the classical 2. Everything
+//! below keys off `R` alone, which is published only after a batch's
+//! write-backs *and* the frontier record itself are fenced to media, so
+//! lag changes nothing here: epochs `> R` are discarded wholesale
+//! whether there is one of them or `pipeline_depth + 2`.
 //!
 //! * `ALLOCATED` with tracking epoch `≤ R` → **live** (its contents were
 //!   flushed when its epoch's buffer persisted).
@@ -93,7 +101,11 @@ impl EpochSys {
             alloc.free(addr);
         }
 
-        // Resume with a safely newer clock; frontier unchanged.
+        // Resume with a safely newer clock; frontier unchanged. Even if
+        // the pre-crash clock had run several epochs past R (pipelined
+        // persists in flight), every block from those epochs was just
+        // reclaimed above, so r + 3 can never collide with surviving
+        // state.
         let clock = r + 3;
         let es = Arc::new(EpochSys::build(heap, alloc, config, clock, r, eadr));
         (es, live)
@@ -305,6 +317,51 @@ mod tests {
                 ),
             }
         }
+    }
+
+    /// With the persist pipeline, a crash can find the clock more than
+    /// two epochs past the durable frontier (sealed batches still in
+    /// flight). Recovery must key off the frontier alone: everything in
+    /// the unpersisted epochs vanishes, everything at or below R lives.
+    #[test]
+    fn crash_with_frontier_lag_beyond_two_recovers_to_frontier() {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(8 << 20)));
+        let es = EpochSys::format(heap, EpochConfig::manual().with_pipeline_depth(4));
+        // Pretend a persister exists but never runs: batches seal and
+        // queue, the frontier never moves, the clock runs ahead.
+        es.attach_persister();
+
+        let (_ea, durable_blk) = publish(&es, 0xD0, 1);
+        es.advance();
+        es.advance();
+        // Persist exactly the two sealed batches: durable_blk is now on
+        // media and the frontier covers its epoch.
+        while es.persist_next_batch() {}
+        let r = es.persisted_frontier();
+
+        // Three more epochs of publishes, sealed but never persisted.
+        let mut lost = Vec::new();
+        for i in 0..3u64 {
+            let (_, b) = publish(&es, 0x1000 + i, 2);
+            lost.push(b);
+            es.advance();
+        }
+        assert!(
+            es.current_epoch() - es.persisted_frontier() > 2,
+            "the pipeline must have let the clock run ahead"
+        );
+        assert_eq!(es.persisted_frontier(), r, "no batch persisted since");
+
+        let heap2 = Arc::new(NvmHeap::from_image(es.heap().crash()));
+        let (es2, live) = EpochSys::recover(heap2, EpochConfig::manual(), 1);
+        assert_eq!(live.len(), 1, "only the pre-lag publish survives");
+        assert_eq!(live[0].addr, durable_blk);
+        assert_eq!(es2.persisted_frontier(), r);
+        assert_eq!(es2.current_epoch(), r + 3);
+        // The lost blocks' space was reclaimed, not leaked.
+        let bytes_one_block = es2.alloc_stats().bytes_in_use();
+        assert!(bytes_one_block > 0);
+        es.detach_persister();
     }
 
     #[test]

@@ -1,7 +1,11 @@
 //! The background epoch-advancing thread ("a background thread increments
-//! the value of a global clock every few milliseconds", §3).
+//! the value of a global clock every few milliseconds", §3) and the
+//! background [`Persister`] that writes sealed epoch batches back to
+//! media off the advance critical path.
 
 use crate::esys::EpochSys;
+use nvm_sim::CrashTriggered;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -72,6 +76,97 @@ impl Drop for EpochTicker {
     }
 }
 
+/// Owns the background write-back thread of the persist pipeline.
+///
+/// While a persister is attached (and
+/// [`EpochConfig::background_persist`](crate::EpochConfig) is on),
+/// [`EpochSys::advance`](crate::EpochSys::advance) only seals epoch
+/// buffers into an [`EpochBatch`](crate::EpochBatch) and enqueues it;
+/// this thread performs the `persist_range` calls, the fence, the
+/// durable-frontier publish, and reclamation. Same stop/join discipline
+/// as [`EpochTicker`]: stops (and joins) on drop, and drains any queued
+/// batches before exiting so a clean shutdown leaves the frontier at
+/// `clock − 2`.
+pub struct Persister {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    esys: Arc<EpochSys>,
+}
+
+impl Persister {
+    /// Spawns the write-back worker and registers it with the epoch
+    /// system (advances switch to seal-and-enqueue immediately).
+    pub fn spawn(esys: Arc<EpochSys>) -> Persister {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        esys.attach_persister();
+        let esys2 = Arc::clone(&esys);
+        let handle = std::thread::Builder::new()
+            .name("bdhtm-persister".into())
+            .spawn(move || {
+                // Once `stop` is observed, one more pop round runs before
+                // exiting: an advance may have enqueued its final batch
+                // between our empty pop and the caller setting the flag,
+                // and the queue mutex makes that batch visible to any
+                // pop that starts after `stop` is set.
+                let mut draining = false;
+                loop {
+                    // A fault-plan crash point may fire *inside* a
+                    // write-back (the whole point of the in-flight-batch
+                    // crash tests). CrashTriggered models machine death:
+                    // the worker detaches and vanishes, leaving the
+                    // frontier wherever the last completed batch put it.
+                    // Any other panic is a real bug — re-raise it.
+                    match catch_unwind(AssertUnwindSafe(|| esys2.persist_next_batch())) {
+                        Ok(true) => {}
+                        Ok(false) if draining => break,
+                        Ok(false) => {
+                            if stop2.load(Ordering::Relaxed) {
+                                draining = true;
+                            } else {
+                                esys2.wait_batch_ready(Duration::from_millis(5));
+                            }
+                        }
+                        Err(payload) => {
+                            esys2.detach_persister();
+                            if payload.downcast_ref::<CrashTriggered>().is_some() {
+                                return;
+                            }
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+                // `break` requires an empty pop *after* stop: drained.
+                esys2.detach_persister();
+            })
+            .expect("spawn persister");
+        Persister {
+            stop,
+            handle: Some(handle),
+            esys,
+        }
+    }
+
+    /// Stops the persister after it drains the queue, and joins it.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.esys.notify_persisters();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Persister {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +214,56 @@ mod tests {
             es.current_epoch() >= before + 3,
             "ticker must advance past the fault burst"
         );
+    }
+
+    #[test]
+    fn persister_drains_on_stop_leaving_frontier_caught_up() {
+        use persist_alloc::Header;
+
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(4 << 20)));
+        let es = EpochSys::format(heap, EpochConfig::manual());
+        let persister = Persister::spawn(Arc::clone(&es));
+
+        // A few operations interleaved with advances: every batch goes
+        // through the background worker.
+        for _ in 0..6 {
+            let e = es.begin_op();
+            let blk = es.p_new(1);
+            Header::set_epoch(es.heap(), blk, e);
+            es.p_track(blk);
+            es.end_op();
+            es.advance();
+        }
+        // Two more advances seal the last op's epoch and its successor.
+        es.advance();
+        es.advance();
+        persister.stop(); // joins after draining the queue
+        assert_eq!(
+            es.persisted_frontier(),
+            es.current_epoch() - 2,
+            "clean shutdown leaves no sealed batch behind"
+        );
+        assert_eq!(es.buffered_words(), 0);
+        assert!(es.stats().snapshot().blocks_persisted >= 6);
+    }
+
+    #[test]
+    fn ticker_and_persister_together_keep_frontier_moving() {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(4 << 20)));
+        let es = EpochSys::format(
+            heap,
+            EpochConfig::manual().with_epoch_len(Duration::from_millis(2)),
+        );
+        let persister = Persister::spawn(Arc::clone(&es));
+        let ticker = EpochTicker::spawn(Arc::clone(&es));
+        let f0 = es.persisted_frontier();
+        std::thread::sleep(Duration::from_millis(80));
+        ticker.stop();
+        persister.stop();
+        assert!(
+            es.persisted_frontier() >= f0 + 5,
+            "background pipeline must move the durable frontier"
+        );
+        assert_eq!(es.persisted_frontier(), es.current_epoch() - 2);
     }
 }

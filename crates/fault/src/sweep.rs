@@ -143,7 +143,7 @@ impl SweepConfig {
 
 /// A logged state mutation, with the epoch it executed in.
 #[derive(Clone, Copy, Debug)]
-enum Mutation {
+pub(crate) enum Mutation {
     Insert(u64, u64),
     Remove(u64),
 }
@@ -245,7 +245,7 @@ fn run_workload<T: SweepTarget>(
 
 /// Folds the logged history up to (and including) epoch `frontier`: the
 /// exact state a single-threaded run must recover to.
-fn durable_prefix(log: &[(u64, Mutation)], frontier: u64) -> BTreeMap<u64, u64> {
+pub(crate) fn durable_prefix(log: &[(u64, Mutation)], frontier: u64) -> BTreeMap<u64, u64> {
     let mut m = BTreeMap::new();
     for &(e, op) in log {
         if e > frontier {
@@ -341,7 +341,7 @@ fn render_dump(esys: &EpochSys) -> Vec<String> {
 }
 
 /// Recovers `img` and returns the recovered system, target, and frontier.
-fn recover<T: SweepTarget>(img: CrashImage) -> (Arc<EpochSys>, T, u64) {
+pub(crate) fn recover<T: SweepTarget>(img: CrashImage) -> (Arc<EpochSys>, T, u64) {
     let heap = Arc::new(NvmHeap::from_image(img));
     let (esys, live) = EpochSys::recover(heap, EpochConfig::manual(), 1);
     let r = esys.persisted_frontier();
@@ -402,7 +402,7 @@ fn crash_during_recovery<T: SweepTarget>(
 
 /// Checks the recovered target against the prefix oracle and its own
 /// structural invariants.
-fn check_recovered<T: SweepTarget>(
+pub(crate) fn check_recovered<T: SweepTarget>(
     t: &T,
     log: &[(u64, Mutation)],
     frontier: u64,
