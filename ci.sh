@@ -7,8 +7,18 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+# Global per-invocation timeout: a hung test run must become a CI
+# failure, not a wedged pipeline. Uses coreutils timeout when present.
+with_timeout() {
+    if command -v timeout >/dev/null 2>&1; then
+        timeout --signal=KILL "$1" "${@:2}"
+    else
+        "${@:2}"
+    fi
+}
+
 echo "==> cargo test -q"
-cargo test -q --workspace
+with_timeout 1800 cargo test -q --workspace
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -41,7 +51,15 @@ fi
 echo "digest $DIGEST == $EXPECTED"
 
 echo "==> fault sweep smoke (pinned FAULT_SEED, incl. pipelined modes)"
-FAULT_SEED=0xBD15EED ./target/release/fault_sweep --ops 160 --replays 40
+with_timeout 600 env FAULT_SEED=0xBD15EED ./target/release/fault_sweep --ops 160 --replays 40
+
+echo "==> runtime fault gate (device faults: retry/degrade/fail-stop)"
+# The live-system counterpart of the crash sweeps (DESIGN.md §5.2):
+# seeded transient device-fault schedules across all three structure
+# families, over a small pinned seed set.
+for seed in 0xBD15EED 0xD15EA5E 0xBD15EE0; do
+    with_timeout 600 env FAULT_SEED=$seed ./target/release/fault_sweep --modes runtime
+done
 
 echo "==> persist-pipeline perf gate (fig7 sync vs pipelined)"
 # Short fig7 runs in both persistence modes; the pipelined advance_ns

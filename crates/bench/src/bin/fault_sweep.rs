@@ -20,14 +20,15 @@
 //! Exits nonzero if any replay fails.
 
 use fault::{
-    pinned_digest, seed_from_env, sweep_all, sweep_all_pipelined, SweepConfig, SweepReport,
+    pinned_digest, seed_from_env, sweep_all, sweep_all_pipelined, sweep_runtime_all, RuntimeReport,
+    SweepConfig, SweepReport,
 };
 use htm_sim::HtmConfig;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fault_sweep [--seed N] [--ops N] [--replays N] \
-         [--modes plain,torn,double,aborts,pipelined,pipelined-torn] [--digest]"
+         [--modes plain,torn,double,aborts,pipelined,pipelined-torn,runtime] [--digest]"
     );
     std::process::exit(2);
 }
@@ -44,6 +45,7 @@ fn main() {
         "aborts",
         "pipelined",
         "pipelined-torn",
+        "runtime",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -83,6 +85,22 @@ fn main() {
 
     let mut failed = false;
     for mode in &modes {
+        // `runtime` keeps the machine alive and makes the *device*
+        // unreliable instead: seeded transient write-back/fence faults
+        // drive the persister's retry→degrade→fail-stop ladder across
+        // all three structure families (see fault::runtime).
+        if mode == "runtime" {
+            for report in sweep_runtime_all(seed) {
+                print_runtime_report(&report);
+                if !report.passed() {
+                    failed = true;
+                    for f in report.failures.iter().take(5) {
+                        eprintln!("  FAIL {f}");
+                    }
+                }
+            }
+            continue;
+        }
         // `pipelined*` modes drive the background-persist crash sweep:
         // epoch advances only seal batches, write-backs and frontier
         // publishes happen on a deterministic stand-in for the
@@ -143,5 +161,18 @@ fn print_report(mode: &str, r: &SweepReport) {
     println!(
         "{:<8} {:<14} {:>7} {:>8} {:>7} {:>7} {:>6}/{:<3}",
         mode, r.structure, r.points, r.replays, r.fired, r.double_crashes, ok, r.replays
+    );
+}
+
+fn print_runtime_report(r: &RuntimeReport) {
+    println!(
+        "{:<8} {:<14} {:>9} {:>8} retries {:<5} degradations {:<3} health {}",
+        "runtime",
+        r.structure,
+        r.scenario,
+        if r.passed() { "ok" } else { "FAIL" },
+        r.persist_retries,
+        r.degradations,
+        r.final_health
     );
 }

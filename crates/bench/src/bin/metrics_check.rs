@@ -84,8 +84,13 @@ fn load_and_check(path: &str) -> (JsonValue, Vec<String>) {
     if req(&doc, "schema").as_str() != Some(METRICS_SCHEMA) {
         fail(&format!("schema is not {METRICS_SCHEMA:?}"));
     }
-    if req_u64(&doc, "version") != METRICS_VERSION {
-        fail(&format!("version is not {METRICS_VERSION}"));
+    // v2 only *added* fields (runtime-fault counters, derived.health),
+    // so this checker accepts every version back to 1.
+    let version = req_u64(&doc, "version");
+    if !(1..=METRICS_VERSION).contains(&version) {
+        fail(&format!(
+            "version {version} outside supported 1..={METRICS_VERSION}"
+        ));
     }
 
     // HTM coherence: attempts = commits + sum of abort causes.

@@ -1,5 +1,6 @@
 //! Epoch-system configuration.
 
+use crate::watchdog::WatchdogPolicy;
 use std::time::Duration;
 
 /// Configuration of an [`EpochSys`](crate::EpochSys).
@@ -34,6 +35,25 @@ pub struct EpochConfig {
     /// persister worker is running — deterministic tests can keep the
     /// full production topology while forcing synchronous write-back.
     pub background_persist: bool,
+    /// Write-back retries per sealed batch when the device returns a
+    /// transient [`DeviceError`](nvm_sim::DeviceError). The batch is
+    /// attempted `1 + persist_retries` times with exponential backoff
+    /// before the system degrades (see
+    /// [`HealthState`](crate::HealthState)). `0` means no retries.
+    pub persist_retries: u32,
+    /// Base of the persist-retry backoff ladder, in busy spins: retry
+    /// `n` waits `persist_backoff_spins << n` spins plus seeded jitter
+    /// (the same ladder HTM retry uses; see
+    /// [`htm_sim::backoff_ladder`]). `0` disables backoff.
+    pub persist_backoff_spins: u32,
+    /// Sampling period of an attached
+    /// [`Watchdog`](crate::Watchdog): progress must be observable
+    /// between two consecutive samples or the watchdog fires. Only
+    /// consumed by [`Watchdog::spawn`](crate::Watchdog::spawn).
+    pub watchdog_period: Duration,
+    /// Escalation ceiling of an attached watchdog: consecutive firings
+    /// escalate log → degrade → fail-stop, capped at this policy.
+    pub watchdog_policy: WatchdogPolicy,
 }
 
 impl Default for EpochConfig {
@@ -44,6 +64,10 @@ impl Default for EpochConfig {
             max_buffered_words: 0,
             pipeline_depth: 2,
             background_persist: true,
+            persist_retries: 5,
+            persist_backoff_spins: 64,
+            watchdog_period: Duration::from_millis(100),
+            watchdog_policy: WatchdogPolicy::Degrade,
         }
     }
 }
@@ -86,6 +110,34 @@ impl EpochConfig {
     /// [`EpochConfig::background_persist`]).
     pub fn with_background_persist(mut self, on: bool) -> Self {
         self.background_persist = on;
+        self
+    }
+
+    /// Sets the per-batch write-back retry budget (see
+    /// [`EpochConfig::persist_retries`]).
+    pub fn with_persist_retries(mut self, retries: u32) -> Self {
+        self.persist_retries = retries;
+        self
+    }
+
+    /// Sets the persist-retry backoff ladder base (see
+    /// [`EpochConfig::persist_backoff_spins`]).
+    pub fn with_persist_backoff_spins(mut self, spins: u32) -> Self {
+        self.persist_backoff_spins = spins;
+        self
+    }
+
+    /// Sets the watchdog sampling period (see
+    /// [`EpochConfig::watchdog_period`]).
+    pub fn with_watchdog_period(mut self, period: Duration) -> Self {
+        self.watchdog_period = period;
+        self
+    }
+
+    /// Sets the watchdog escalation ceiling (see
+    /// [`EpochConfig::watchdog_policy`]).
+    pub fn with_watchdog_policy(mut self, policy: WatchdogPolicy) -> Self {
+        self.watchdog_policy = policy;
         self
     }
 }

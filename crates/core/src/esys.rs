@@ -2,14 +2,15 @@
 //! advancement, and the Listing 1 update-classification helper.
 
 use crate::config::EpochConfig;
+use crate::error::{HealthState, OpRejected, PersistError, RetireError};
 use crate::obs::{EventKind, Obs};
 use htm_sim::sync::CachePadded;
 use htm_sim::sync::Mutex;
-use htm_sim::{max_threads, thread_id, MemAccess, TxResult};
-use nvm_sim::{NvmAddr, NvmHeap};
+use htm_sim::{backoff_ladder, backoff_spin, max_threads, thread_id, MemAccess, TxResult};
+use nvm_sim::{DeviceError, NvmAddr, NvmHeap};
 use persist_alloc::{mark_deleted, AllocStats, Header, PAlloc, CLASS_WORDS, HDR_EPOCH, HDR_WORDS};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
 use std::time::Duration;
 
@@ -274,6 +275,9 @@ pub struct EpochStats {
     pub(crate) advance_failures: AtomicU64,
     pub(crate) backpressure_advances: AtomicU64,
     pub(crate) pipeline_stalls: AtomicU64,
+    pub(crate) persist_retries: AtomicU64,
+    pub(crate) degradations: AtomicU64,
+    pub(crate) watchdog_fires: AtomicU64,
 }
 
 impl EpochStats {
@@ -287,6 +291,9 @@ impl EpochStats {
             advance_failures: self.advance_failures.load(Ordering::Relaxed),
             backpressure_advances: self.backpressure_advances.load(Ordering::Relaxed),
             pipeline_stalls: self.pipeline_stalls.load(Ordering::Relaxed),
+            persist_retries: self.persist_retries.load(Ordering::Relaxed),
+            degradations: self.degradations.load(Ordering::Relaxed),
+            watchdog_fires: self.watchdog_fires.load(Ordering::Relaxed),
         }
     }
 
@@ -299,6 +306,9 @@ impl EpochStats {
         self.advance_failures.store(0, Ordering::Relaxed);
         self.backpressure_advances.store(0, Ordering::Relaxed);
         self.pipeline_stalls.store(0, Ordering::Relaxed);
+        self.persist_retries.store(0, Ordering::Relaxed);
+        self.degradations.store(0, Ordering::Relaxed);
+        self.watchdog_fires.store(0, Ordering::Relaxed);
     }
 }
 
@@ -322,6 +332,14 @@ pub struct EpochStatsSnapshot {
     /// Advances that found [`EpochConfig::pipeline_depth`] batches in
     /// flight and stalled the clock until the persister caught up.
     pub pipeline_stalls: u64,
+    /// Batch write-back attempts retried after a transient
+    /// [`DeviceError`](nvm_sim::DeviceError).
+    pub persist_retries: u64,
+    /// Health-ladder downgrades (`Ok → Degraded` and
+    /// `Degraded → Failed` each count once).
+    pub degradations: u64,
+    /// Times an attached [`Watchdog`](crate::Watchdog) detected a stall.
+    pub watchdog_fires: u64,
 }
 
 impl EpochStatsSnapshot {
@@ -339,6 +357,9 @@ impl EpochStatsSnapshot {
                 .backpressure_advances
                 .saturating_sub(e.backpressure_advances),
             pipeline_stalls: self.pipeline_stalls.saturating_sub(e.pipeline_stalls),
+            persist_retries: self.persist_retries.saturating_sub(e.persist_retries),
+            degradations: self.degradations.saturating_sub(e.degradations),
+            watchdog_fires: self.watchdog_fires.saturating_sub(e.watchdog_fires),
         }
     }
 }
@@ -385,6 +406,18 @@ pub struct EpochSys {
     fault_fail_prob_bits: AtomicU64,
     /// SplitMix64 state of the seeded advance-failure stream.
     fault_rng: AtomicU64,
+    /// Runtime health ladder (`HealthState` code): a one-way ratchet
+    /// `Ok → Degraded → Failed` advanced only by [`escalate_health`]
+    /// (see `crate::error` for the transition semantics).
+    ///
+    /// [`escalate_health`]: EpochSys::escalate_health
+    health: AtomicU8,
+    /// The persist failure that drove the last health downgrade.
+    last_persist_error: StdMutex<Option<PersistError>>,
+    /// SplitMix64 state for persist-retry backoff jitter (fixed seed:
+    /// jitter only decorrelates contending persisters, it carries no
+    /// experiment semantics).
+    backoff_rng: AtomicU64,
 }
 
 impl EpochSys {
@@ -437,6 +470,9 @@ impl EpochSys {
             fault_fail_next: AtomicU64::new(0),
             fault_fail_prob_bits: AtomicU64::new(0),
             fault_rng: AtomicU64::new(0),
+            health: AtomicU8::new(HealthState::Ok as u8),
+            last_persist_error: StdMutex::new(None),
+            backoff_rng: AtomicU64::new(0x9E37_79B9_7F4A_7C15),
         }
     }
 
@@ -462,6 +498,75 @@ impl EpochSys {
     /// recorder (see [`crate::obs`]).
     pub fn obs(&self) -> &Obs {
         &self.obs
+    }
+
+    // ----- runtime health -------------------------------------------------
+
+    /// Current position on the `Ok → Degraded → Failed` health ladder
+    /// (see [`HealthState`] for the transition rules).
+    pub fn health(&self) -> HealthState {
+        HealthState::from_code(self.health.load(Ordering::SeqCst))
+    }
+
+    /// The typed persist failure behind the most recent health
+    /// downgrade, if any.
+    pub fn last_persist_error(&self) -> Option<PersistError> {
+        *self
+            .last_persist_error
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Sealed batches currently in flight (queued or being written
+    /// back). Watchdog/diagnostic introspection.
+    pub fn batches_in_flight(&self) -> usize {
+        self.pipeline.lock().in_flight
+    }
+
+    /// Snapshot of every thread's announced epoch ([`EMPTY_EPOCH`] for
+    /// idle slots). Watchdog/diagnostic introspection; each slot is a
+    /// moment-in-time read, not a consistent cut.
+    pub fn announced_epochs(&self) -> Vec<u64> {
+        self.announce
+            .iter()
+            .map(|s| s.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Ratchets the health ladder up to `to` (never down), recording
+    /// `cause`, counting the degradation and emitting a
+    /// [`DegradedToSync`](EventKind::DegradedToSync) event. Waiters on
+    /// either pipeline condvar are woken so nobody keeps waiting for a
+    /// background persister that just lost its job (every wait loop
+    /// re-checks [`pipelined`](Self::pipelined)).
+    pub(crate) fn escalate_health(&self, to: HealthState, cause: Option<PersistError>) {
+        let mut cur = self.health.load(Ordering::SeqCst);
+        loop {
+            if cur >= to as u8 {
+                return; // already at or past `to`: ratchet only moves up
+            }
+            match self
+                .health
+                .compare_exchange(cur, to as u8, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+        if let Some(err) = cause {
+            *self
+                .last_persist_error
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = Some(err);
+        }
+        self.stats.degradations.fetch_add(1, Ordering::Relaxed);
+        self.obs.event(
+            EventKind::DegradedToSync,
+            to as u64,
+            cause.map_or(u64::MAX, |c| c.epoch),
+        );
+        self.pipeline.batch_ready.notify_all();
+        self.pipeline.batch_done.notify_all();
     }
 
     // ----- epoch-system fault injection -----------------------------------
@@ -557,10 +662,32 @@ impl EpochSys {
 
     /// Registers the calling thread as active in the current epoch and
     /// begins tracking its NVM writes. Returns the operation's epoch.
+    ///
+    /// Panics with a typed [`OpRejected`] payload when the system is
+    /// [`HealthState::Failed`]; use [`try_begin_op`](Self::try_begin_op)
+    /// to observe the rejection as a value.
     pub fn begin_op(&self) -> u64 {
+        match self.try_begin_op() {
+            Ok(e) => e,
+            Err(rej) => std::panic::panic_any(rej),
+        }
+    }
+
+    /// Fallible [`begin_op`](Self::begin_op): returns [`OpRejected`]
+    /// instead of wedging (or panicking) when the epoch system has
+    /// fail-stopped.
+    pub fn try_begin_op(&self) -> Result<u64, OpRejected> {
+        // Relaxed: rejection only needs to be *eventually* observed;
+        // the SeqCst handshake below governs epoch correctness.
+        if self.health.load(Ordering::Relaxed) == HealthState::Failed as u8 {
+            return Err(OpRejected {
+                health: HealthState::Failed,
+                cause: self.last_persist_error(),
+            });
+        }
         let tid = thread_id();
         if self.disabled {
-            return self.clock.load(Ordering::SeqCst);
+            return Ok(self.clock.load(Ordering::SeqCst));
         }
         // Backpressure (graceful degradation under a stalled ticker): if
         // the buffered set exceeds its bound, help advance the epoch.
@@ -624,7 +751,7 @@ impl EpochSys {
         let (pm, rm) = (buf.persist.len(), buf.retire.len());
         st.persist_mark = pm;
         st.retire_mark = rm;
-        e
+        Ok(e)
     }
 
     /// Schedules the operation's tracked writes for background
@@ -734,11 +861,25 @@ impl EpochSys {
     /// it for reclamation once the deletion is durable (Listing 1
     /// line 51). The block stays readable until then, so a crash that
     /// discards this epoch can resurrect it.
+    /// Panics with a typed [`RetireError`] payload on a non-block
+    /// address; use [`try_retire`](Self::try_retire) to observe the
+    /// validation failure as a value.
     pub fn p_retire(&self, blk: NvmAddr) {
-        let (_, class) = Header::state(&self.heap, blk).expect("p_retire of a non-block");
+        if let Err(e) = self.try_retire(blk) {
+            std::panic::panic_any(e);
+        }
+    }
+
+    /// Fallible [`p_retire`](Self::p_retire): validates that `blk`
+    /// carries a live block header and returns [`RetireError`] instead
+    /// of panicking when it does not.
+    pub fn try_retire(&self, blk: NvmAddr) -> Result<(), RetireError> {
+        let Some((_, class)) = Header::state(&self.heap, blk) else {
+            return Err(RetireError::NotABlock(blk));
+        };
         if self.disabled {
             self.alloc.free(blk);
-            return;
+            return Ok(());
         }
         let tid = thread_id();
         let mut st = self.threads[tid].lock();
@@ -748,6 +889,7 @@ impl EpochSys {
         st.bufs[(e % BUF_GENS as u64) as usize].retire.push(blk);
         drop(st);
         self.buffered_words.fetch_add(HDR_WORDS, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Immediately reclaims a block that was never published (e.g. a
@@ -976,9 +1118,12 @@ impl EpochSys {
     }
 
     /// Whether sealed batches go to a background persister (config
-    /// allows it and at least one worker is attached).
+    /// allows it, at least one worker is attached, and the system has
+    /// not degraded to synchronous inline persistence).
     fn pipelined(&self) -> bool {
-        self.config.background_persist && self.pipeline.persisters.load(Ordering::Acquire) > 0
+        self.config.background_persist
+            && self.pipeline.persisters.load(Ordering::Acquire) > 0
+            && self.health.load(Ordering::Acquire) == HealthState::Ok as u8
     }
 
     /// Registers a persister worker; advances switch from inline
@@ -1026,48 +1171,126 @@ impl EpochSys {
     /// The pop happens under the persist lock, so concurrent callers
     /// persist batches strictly in seal (= epoch) order and the
     /// frontier is monotone.
+    ///
+    /// A batch that exhausts its retry budget
+    /// ([`EpochConfig::persist_retries`]) is pushed back to the front
+    /// of the queue — epoch order preserved, nothing durable lost —
+    /// and the health ladder ratchets up (`Ok → Degraded`, then
+    /// `Degraded → Failed`). Once [`HealthState::Failed`], the queue is
+    /// frozen: this returns `false` without attempting anything, and
+    /// the durable frontier stays at the last fully persisted epoch.
     pub fn persist_next_batch(&self) -> bool {
         let _pg = self.persist_lock.lock();
+        if self.health.load(Ordering::SeqCst) == HealthState::Failed as u8 {
+            return false;
+        }
         let batch = self.pipeline.lock().batches.pop_front();
         match batch {
-            Some(b) => {
-                self.persist_batch(b);
-                true
-            }
+            Some(b) => match self.persist_batch_with_retry(b) {
+                Ok(()) => true,
+                Err((b, err)) => {
+                    // Re-queue at the front so epoch order (and the
+                    // frontier's monotonicity) survives the failure.
+                    self.pipeline.lock().batches.push_front(b);
+                    let next = match self.health() {
+                        HealthState::Ok => HealthState::Degraded,
+                        _ => HealthState::Failed,
+                    };
+                    self.escalate_health(next, Some(err));
+                    false
+                }
+            },
             None => false,
         }
     }
 
-    /// The write-back half of an epoch transition (caller holds the
-    /// persist lock). Only after the fence *and* the frontier record's
-    /// own persist does the volatile frontier move and reclamation run
-    /// — a crash anywhere inside this window recovers to the previous
-    /// frontier, preserving BDL's "recover to the end of the last epoch
-    /// whose batch fully persisted".
-    fn persist_batch(&self, batch: EpochBatch) {
+    /// Writes `batch` back with the configured retry budget: transient
+    /// [`DeviceError`]s back off on the HTM exponential ladder (plus
+    /// seeded jitter) and retry; success completes the batch. On budget
+    /// exhaustion the untouched batch is handed back with the typed
+    /// [`PersistError`]. Retrying the device sequence from the top is
+    /// safe — `persist_range`/`clwb`/frontier write are idempotent.
+    fn persist_batch_with_retry(
+        &self,
+        batch: EpochBatch,
+    ) -> Result<(), (EpochBatch, PersistError)> {
         let t0 = std::time::Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            match self.persist_batch_device(&batch) {
+                Ok(words) => {
+                    self.complete_batch(batch, words, t0);
+                    return Ok(());
+                }
+                Err(cause) => {
+                    attempt += 1;
+                    if attempt > self.config.persist_retries {
+                        let err = PersistError {
+                            epoch: batch.epoch,
+                            attempts: attempt,
+                            cause,
+                        };
+                        return Err((batch, err));
+                    }
+                    self.stats.persist_retries.fetch_add(1, Ordering::Relaxed);
+                    self.obs
+                        .event(EventKind::PersistRetry, batch.epoch, attempt as u64);
+                    let spins = backoff_ladder(self.config.persist_backoff_spins, attempt - 1);
+                    if spins != 0 {
+                        // Seeded jitter in [0, spins/2) decorrelates
+                        // contending persisters without perturbing
+                        // replay determinism (fixed seed, CAS-stepped).
+                        let draw = self
+                            .backoff_rng
+                            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |mut s| {
+                                htm_sim::rng::splitmix64(&mut s);
+                                Some(s)
+                            })
+                            .unwrap_or(0);
+                        backoff_spin(spins + draw % (spins / 2 + 1));
+                    }
+                }
+            }
+        }
+    }
+
+    /// One device-level write-back attempt: persist the batch's blocks
+    /// and retirement records, fence, and persist the frontier record.
+    /// Pure device traffic — no volatile bookkeeping moves — so a
+    /// failed attempt can be retried from the top. Returns the words
+    /// written back.
+    fn persist_batch_device(&self, batch: &EpochBatch) -> Result<u64, DeviceError> {
         let mut words = 0u64;
         for &(blk, _) in &batch.persist {
             if let Some((_, class)) = Header::state(&self.heap, blk) {
-                self.heap.persist_range(blk, CLASS_WORDS[class]);
+                self.heap.try_persist_range(blk, CLASS_WORDS[class])?;
                 words += CLASS_WORDS[class];
             }
         }
         for &blk in &batch.retire {
-            self.heap.persist_range(blk, HDR_WORDS);
+            self.heap.try_persist_range(blk, HDR_WORDS)?;
             words += HDR_WORDS;
         }
-        self.heap.fence();
+        self.heap.try_fence()?;
 
-        // Frontier publish: epochs ≤ batch.epoch are now durable.
+        // Frontier record: epochs ≤ batch.epoch are durable once this
+        // line is flushed and fenced.
         let r = batch.epoch;
         debug_assert!(
             self.frontier.load(Ordering::SeqCst) <= r,
             "frontier regression"
         );
         self.heap.write(self.heap.root(ROOT_FRONTIER), r);
-        self.heap.clwb(self.heap.root(ROOT_FRONTIER));
-        self.heap.fence();
+        self.heap.try_clwb(self.heap.root(ROOT_FRONTIER))?;
+        self.heap.try_fence()?;
+        Ok(words)
+    }
+
+    /// The volatile half of a successful write-back: publish the
+    /// frontier mirror, reclaim, refund accounting, record stats and
+    /// events, and release the pipeline slot.
+    fn complete_batch(&self, batch: EpochBatch, words: u64, t0: std::time::Instant) {
+        let r = batch.epoch;
         self.frontier.store(r, Ordering::SeqCst);
 
         // Reclaim retired blocks — their deletion records are durable,
@@ -1114,6 +1337,12 @@ impl EpochSys {
     /// injected faults are a test facility.)
     pub fn advance_until(&self, epoch: u64) {
         while !self.disabled && self.persisted_frontier() < epoch {
+            // Fail-stop freezes the persist queue: the frontier can
+            // never reach `epoch`, so return instead of wedging (the
+            // caller observes the shortfall via `persisted_frontier`).
+            if self.health() == HealthState::Failed {
+                return;
+            }
             if self.current_epoch() < epoch + 2 {
                 // The batch closing `epoch` is not sealed yet.
                 self.advance();
@@ -1635,5 +1864,132 @@ mod tests {
             "inline mode keeps frontier == clock − 2"
         );
         es.detach_persister();
+    }
+
+    /// The tentpole degradation ladder, end to end: a batch exhausting
+    /// its retry budget ratchets `Ok → Degraded` (durable prefix
+    /// untouched, typed error published, batch re-queued — not lost),
+    /// a second exhaustion ratchets `Degraded → Failed` (queue frozen),
+    /// and a healed device still cannot un-fail the one-way ratchet.
+    #[test]
+    fn retry_exhaustion_degrades_then_fails_without_losing_prefix() {
+        use nvm_sim::DeviceFaults;
+
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(8 << 20)));
+        let es = EpochSys::format(
+            Arc::clone(&heap),
+            EpochConfig::manual()
+                .with_persist_retries(2)
+                .with_persist_backoff_spins(1),
+        );
+        es.attach_persister(); // hand-driven pipelined mode
+        for _ in 0..2 {
+            let e = es.begin_op();
+            let blk = es.p_new(1);
+            Header::set_epoch(es.heap(), blk, e);
+            es.p_track(blk);
+            es.end_op();
+            es.advance();
+        }
+        assert!(es.persist_next_batch(), "healthy device: first batch ok");
+        let f0 = es.persisted_frontier();
+        assert_eq!(es.health(), crate::HealthState::Ok);
+
+        // A device that fails every write-back: the second batch burns
+        // its whole budget (1 initial + 2 retries) and degrades.
+        heap.arm_device_faults(Arc::new(DeviceFaults::new(7).with_writeback_failures(1000)));
+        assert!(!es.persist_next_batch());
+        assert_eq!(es.health(), crate::HealthState::Degraded);
+        assert_eq!(es.persisted_frontier(), f0, "durable prefix untouched");
+        assert_eq!(
+            es.batches_in_flight(),
+            1,
+            "failed batch re-queued, not lost"
+        );
+        let err = es.last_persist_error().expect("typed error published");
+        assert_eq!(err.attempts, 3);
+        let snap = es.stats().snapshot();
+        assert_eq!(snap.persist_retries, 2);
+        assert_eq!(snap.degradations, 1);
+
+        // Exhaustion while already degraded: fail-stop, queue frozen.
+        assert!(!es.persist_next_batch());
+        assert_eq!(es.health(), crate::HealthState::Failed);
+        heap.disarm_device_faults();
+        assert!(
+            !es.persist_next_batch(),
+            "Failed freezes the queue even with a healed device"
+        );
+        assert_eq!(es.persisted_frontier(), f0);
+        es.detach_persister();
+    }
+
+    /// Degraded (not Failed) keeps the system fully usable: the
+    /// re-queued batch drains inline once the transient fault clears,
+    /// and the frontier catches back up to clock − 2.
+    #[test]
+    fn degraded_system_recovers_durability_inline() {
+        use nvm_sim::DeviceFaults;
+
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(8 << 20)));
+        let es = EpochSys::format(
+            Arc::clone(&heap),
+            EpochConfig::manual()
+                .with_persist_retries(1)
+                .with_persist_backoff_spins(1),
+        );
+        es.attach_persister();
+        es.advance();
+        heap.arm_device_faults(Arc::new(DeviceFaults::new(9).with_writeback_failures(1000)));
+        assert!(!es.persist_next_batch());
+        assert_eq!(es.health(), crate::HealthState::Degraded);
+        heap.disarm_device_faults();
+        // Degraded ⇒ pipelined() is false ⇒ advances drain inline,
+        // including the re-queued batch, in epoch order.
+        es.advance();
+        es.advance();
+        assert_eq!(es.persisted_frontier(), es.current_epoch() - 2);
+        assert_eq!(es.batches_in_flight(), 0);
+        assert_eq!(es.health(), crate::HealthState::Degraded, "ratchet holds");
+        es.detach_persister();
+    }
+
+    /// `Failed` poisons `begin_op` with a typed, downcastable payload
+    /// and `try_begin_op` with a typed error — never a wedge.
+    #[test]
+    fn failed_system_rejects_new_ops_with_typed_error() {
+        let es = fresh();
+        es.begin_op();
+        es.end_op(); // ops work while healthy
+        es.escalate_health(crate::HealthState::Failed, None);
+        let rej = es.try_begin_op().expect_err("Failed must reject");
+        assert_eq!(rej.health, crate::HealthState::Failed);
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| es.begin_op()))
+            .expect_err("begin_op must unwind on a failed system");
+        let rej = payload
+            .downcast_ref::<crate::OpRejected>()
+            .expect("panic payload must downcast to OpRejected");
+        assert_eq!(rej.health, crate::HealthState::Failed);
+        // The announcement slot stayed clean: nothing was registered.
+        assert_eq!(es.announced_epoch(), EMPTY_EPOCH);
+    }
+
+    /// S2: `try_retire` surfaces a bogus address as a value; `p_retire`
+    /// panics with the same typed payload instead of a bare `expect`.
+    #[test]
+    fn retire_of_non_block_is_a_typed_error() {
+        let es = fresh();
+        es.begin_op();
+        let bogus = NvmAddr(3); // inside the root area, never a block
+        assert_eq!(
+            es.try_retire(bogus),
+            Err(crate::RetireError::NotABlock(bogus))
+        );
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            es.p_retire(bogus);
+        }))
+        .expect_err("p_retire must panic on a non-block");
+        assert!(payload.downcast_ref::<crate::RetireError>().is_some());
+        es.abort_op();
     }
 }

@@ -79,14 +79,17 @@
 //! ```
 
 mod config;
+mod error;
 mod esys;
 mod kv;
 pub mod obs;
 mod op;
 mod recovery;
 mod ticker;
+pub mod watchdog;
 
 pub use config::EpochConfig;
+pub use error::{HealthState, OpRejected, PersistError, RetireError, SpawnError};
 pub use esys::{
     payload, AdvanceFault, EpochBatch, EpochStats, EpochStatsSnapshot, EpochSys, PreallocSlots,
     UpdateKind, EMPTY_EPOCH, EPOCH_START, OLD_SEE_NEW,
@@ -99,3 +102,4 @@ pub use op::{run_op, CommitEffects, OpGuard, OpStep, RestartFn};
 pub use persist_alloc::INVALID_EPOCH;
 pub use recovery::LiveBlock;
 pub use ticker::{EpochTicker, Persister};
+pub use watchdog::{Watchdog, WatchdogPolicy};

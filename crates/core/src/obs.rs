@@ -20,6 +20,7 @@
 //! * [`JsonValue`] — a small recursive-descent JSON parser used by the
 //!   round-trip tests and the `metrics_check` validation binary.
 
+use crate::error::HealthState;
 use crate::esys::{EpochStatsSnapshot, EpochSys};
 use htm_sim::{max_threads, thread_id, HistSnapshot, Htm, LogHistogram, StatsSnapshot};
 use nvm_sim::{NvmHeap, NvmStatsSnapshot};
@@ -68,6 +69,19 @@ pub enum EventKind {
     /// The persist pipeline was full and the advance stalled the clock:
     /// `a` = batches in flight, `b` = configured depth.
     PipelineStall = 9,
+    /// A batch write-back hit a transient device error and will retry:
+    /// `a` = batch epoch, `b` = attempt number (1-based).
+    PersistRetry = 10,
+    /// The health ladder ratcheted up: `a` = new
+    /// [`HealthState`] code, `b` = epoch of the causing batch
+    /// (`u64::MAX` when the cause was not a persist failure).
+    DegradedToSync = 11,
+    /// The watchdog detected a stall: `a` = reason code
+    /// (see [`crate::watchdog`]), `b` = consecutive firings.
+    WatchdogFired = 12,
+    /// A user op closure panicked inside `run_op`: `a` = epoch,
+    /// `b` = restarts before the panic.
+    OpPanicked = 13,
 }
 
 /// [`EventKind::OpAbort`] tag: the structure requested a restart.
@@ -88,6 +102,10 @@ impl EventKind {
             7 => Some(EventKind::BatchSealed),
             8 => Some(EventKind::BatchPersisted),
             9 => Some(EventKind::PipelineStall),
+            10 => Some(EventKind::PersistRetry),
+            11 => Some(EventKind::DegradedToSync),
+            12 => Some(EventKind::WatchdogFired),
+            13 => Some(EventKind::OpPanicked),
             _ => None,
         }
     }
@@ -183,6 +201,23 @@ impl FlightEvent {
             }
             EventKind::PipelineStall => {
                 format!("PipelineStall in_flight={} depth={}", self.a, self.b)
+            }
+            EventKind::PersistRetry => {
+                format!("PersistRetry e={} attempt={}", self.a, self.b)
+            }
+            EventKind::DegradedToSync => {
+                let to = HealthState::from_code(self.a.min(u8::MAX as u64) as u8).as_str();
+                if self.b == u64::MAX {
+                    format!("DegradedToSync to={to}")
+                } else {
+                    format!("DegradedToSync to={to} cause_epoch={}", self.b)
+                }
+            }
+            EventKind::WatchdogFired => {
+                format!("WatchdogFired reason={} consecutive={}", self.a, self.b)
+            }
+            EventKind::OpPanicked => {
+                format!("OpPanicked   e={} restarts={}", self.a, self.b)
             }
         };
         head + &body
@@ -350,6 +385,8 @@ pub struct DerivedGauges {
     pub frontier_lag: u64,
     /// Words tracked for background persistence and not yet flushed.
     pub buffered_words: u64,
+    /// Position on the runtime health ladder (see [`HealthState`]).
+    pub health: HealthState,
 }
 
 /// A histogram snapshot with its identity in the report schema.
@@ -420,6 +457,7 @@ impl MetricsRegistry {
                 persisted_frontier,
                 frontier_lag: current_epoch.saturating_sub(persisted_frontier),
                 buffered_words: esys.buffered_words(),
+                health: esys.health(),
             });
             let obs = esys.obs();
             histograms.push(NamedHist {
@@ -473,7 +511,10 @@ pub struct MetricsReport {
 /// Schema identifier emitted in every report.
 pub const METRICS_SCHEMA: &str = "bdhtm-metrics";
 /// Schema version; bump when a key changes meaning or disappears.
-pub const METRICS_VERSION: u64 = 1;
+/// v2 added the runtime-fault counters (`epoch.persist_retries`,
+/// `epoch.degradations`, `epoch.watchdog_fires`) and `derived.health`
+/// — pure additions, so v1 consumers keep parsing.
+pub const METRICS_VERSION: u64 = 2;
 
 /// Formats an `f64` as a JSON number token (never `NaN`/`inf`, which
 /// JSON forbids — non-finite values degrade to 0).
@@ -562,7 +603,8 @@ impl MetricsReport {
             s.push_str(&format!(
                 ",\"epoch\":{{\"advances\":{},\"blocks_persisted\":{},\"words_persisted\":{},\
                  \"blocks_reclaimed\":{},\"advance_failures\":{},\"backpressure_advances\":{},\
-                 \"pipeline_stalls\":{}}}",
+                 \"pipeline_stalls\":{},\"persist_retries\":{},\"degradations\":{},\
+                 \"watchdog_fires\":{}}}",
                 e.advances,
                 e.blocks_persisted,
                 e.words_persisted,
@@ -570,6 +612,9 @@ impl MetricsReport {
                 e.advance_failures,
                 e.backpressure_advances,
                 e.pipeline_stalls,
+                e.persist_retries,
+                e.degradations,
+                e.watchdog_fires,
             ));
         }
         if let Some(a) = &self.alloc {
@@ -585,8 +630,12 @@ impl MetricsReport {
         if let Some(d) = &self.derived {
             s.push_str(&format!(
                 ",\"derived\":{{\"current_epoch\":{},\"persisted_frontier\":{},\
-                 \"frontier_lag\":{},\"buffered_words\":{}}}",
-                d.current_epoch, d.persisted_frontier, d.frontier_lag, d.buffered_words,
+                 \"frontier_lag\":{},\"buffered_words\":{},\"health\":\"{}\"}}",
+                d.current_epoch,
+                d.persisted_frontier,
+                d.frontier_lag,
+                d.buffered_words,
+                d.health.as_str(),
             ));
         }
         s.push_str(",\"histograms\":{");

@@ -29,9 +29,10 @@
 use crate::esys::{EpochSys, PreallocSlots, OLD_SEE_NEW};
 use crate::obs::{EventKind, ABORT_RESTART, ABORT_UNWIND};
 use htm_sim::RunError;
-use nvm_sim::NvmAddr;
+use nvm_sim::{CrashTriggered, NvmAddr};
 use persist_alloc::{Header, CLASS_WORDS};
 use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// A deferred fix-up an operation wants to run *after* its registration
@@ -273,7 +274,26 @@ pub fn run_op<'a, R>(
     loop {
         let op = OpGuard::begin(esys, prealloc);
         op.restarts.set(restarts);
-        match body(&op) {
+        // A panicking body must not take the whole process down with an
+        // HTM transaction open and an epoch announced: catch it, let the
+        // guard's drop glue abort the registration (returning the block,
+        // clearing the announcement — other threads keep advancing), and
+        // resurface the panic to the caller. The HTM layer's own exit
+        // guard unwinds `TXN_DEPTH`, so a panic inside a transaction
+        // aborts it rather than leaking speculative state. Injected
+        // crash points are the fault sweep's machine-death model, not an
+        // op failure — those pass through without the event.
+        let step = match catch_unwind(AssertUnwindSafe(|| body(&op))) {
+            Ok(step) => step,
+            Err(payload) => {
+                if payload.downcast_ref::<CrashTriggered>().is_none() {
+                    esys.obs().event(EventKind::OpPanicked, op.epoch, restarts);
+                }
+                drop(op);
+                resume_unwind(payload);
+            }
+        };
+        match step {
             Ok(OpStep::Commit(effects)) => {
                 let obs = esys.obs();
                 obs.op_latency_ns.record(t0.elapsed().as_nanos() as u64);
@@ -405,5 +425,39 @@ mod tests {
             persist_alloc::INVALID_EPOCH,
             "re-stashed block must carry an invalid epoch"
         );
+    }
+
+    #[test]
+    fn op_panic_is_recorded_and_leaves_system_live() {
+        let (esys, _htm) = setup();
+        let slots = PreallocSlots::new(1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_op(&esys, Some(&slots), |_op| -> Result<OpStep<()>, RunError> {
+                panic!("op body bug")
+            })
+        }));
+        // The panic resurfaces to the caller (not swallowed) ...
+        let payload = r.unwrap_err();
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("op body bug"),
+            "original payload must survive the catch/rethrow"
+        );
+        // ... the flight recorder knows about it ...
+        assert!(
+            esys.obs()
+                .dump(usize::MAX)
+                .iter()
+                .any(|ev| ev.kind == EventKind::OpPanicked),
+            "OpPanicked event must be recorded"
+        );
+        // ... and the epoch machinery is fully live afterwards: no
+        // stale announcement, advances move the clock and frontier.
+        assert_eq!(esys.announced_epoch(), crate::esys::EMPTY_EPOCH);
+        let e0 = esys.current_epoch();
+        esys.advance();
+        esys.advance();
+        assert_eq!(esys.current_epoch(), e0 + 2);
+        assert_eq!(esys.persisted_frontier(), e0);
     }
 }

@@ -3,6 +3,7 @@
 //! background [`Persister`] that writes sealed epoch batches back to
 //! media off the advance critical path.
 
+use crate::error::{HealthState, SpawnError};
 use crate::esys::EpochSys;
 use nvm_sim::CrashTriggered;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -22,7 +23,27 @@ pub struct EpochTicker {
 impl EpochTicker {
     /// Spawns the advancer. With sub-millisecond epoch lengths (the
     /// paper's 1 µs sweep points) the thread spins instead of sleeping.
+    ///
+    /// Falls back to an inert ticker with a logged warning if the OS
+    /// cannot spawn the thread (resource exhaustion) — epochs must then
+    /// be advanced manually (or via backpressure), which degrades
+    /// latency but loses nothing. Use [`try_spawn`](Self::try_spawn) to
+    /// observe the failure as a value.
     pub fn spawn(esys: Arc<EpochSys>) -> EpochTicker {
+        match Self::try_spawn(esys) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bdhtm: {e}; falling back to manual epoch advancement");
+                EpochTicker {
+                    stop: Arc::new(AtomicBool::new(true)),
+                    handle: None,
+                }
+            }
+        }
+    }
+
+    /// Fallible [`spawn`](Self::spawn).
+    pub fn try_spawn(esys: Arc<EpochSys>) -> Result<EpochTicker, SpawnError> {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
@@ -50,11 +71,14 @@ impl EpochTicker {
                     esys.advance();
                 }
             })
-            .expect("spawn epoch ticker");
-        EpochTicker {
+            .map_err(|error| SpawnError {
+                worker: "epoch ticker",
+                error,
+            })?;
+        Ok(EpochTicker {
             stop,
             handle: Some(handle),
-        }
+        })
     }
 
     /// Stops the ticker and waits for it to exit.
@@ -96,7 +120,30 @@ pub struct Persister {
 impl Persister {
     /// Spawns the write-back worker and registers it with the epoch
     /// system (advances switch to seal-and-enqueue immediately).
+    ///
+    /// Falls back to no worker at all with a logged warning if the OS
+    /// cannot spawn the thread — the system simply stays in synchronous
+    /// inline-persist mode, which is slower but loses nothing. Use
+    /// [`try_spawn`](Self::try_spawn) to observe the failure as a value.
     pub fn spawn(esys: Arc<EpochSys>) -> Persister {
+        match Self::try_spawn(esys) {
+            Ok(p) => p,
+            Err((esys, e)) => {
+                eprintln!("bdhtm: {e}; persisting inline on the advancing thread");
+                Persister {
+                    stop: Arc::new(AtomicBool::new(true)),
+                    handle: None,
+                    esys,
+                }
+            }
+        }
+    }
+
+    /// Fallible [`spawn`](Self::spawn). On failure nothing stays
+    /// attached (advances keep persisting inline) and the `esys` handle
+    /// is returned alongside the error.
+    #[allow(clippy::result_large_err)]
+    pub fn try_spawn(esys: Arc<EpochSys>) -> Result<Persister, (Arc<EpochSys>, SpawnError)> {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         esys.attach_persister();
@@ -121,6 +168,14 @@ impl Persister {
                         Ok(true) => {}
                         Ok(false) if draining => break,
                         Ok(false) => {
+                            // Degraded or failed: the health ratchet is
+                            // one-way, so background pipelining is off
+                            // for good. The worker retires (after the
+                            // persist path above drained what it could);
+                            // inline advances own the queue from here.
+                            if esys2.health() != HealthState::Ok {
+                                break;
+                            }
                             if stop2.load(Ordering::Relaxed) {
                                 draining = true;
                             } else {
@@ -136,14 +191,26 @@ impl Persister {
                         }
                     }
                 }
-                // `break` requires an empty pop *after* stop: drained.
+                // `break` requires an empty pop *after* stop (or a
+                // health downgrade that retires the worker): drained.
                 esys2.detach_persister();
-            })
-            .expect("spawn persister");
-        Persister {
-            stop,
-            handle: Some(handle),
-            esys,
+            });
+        match handle {
+            Ok(handle) => Ok(Persister {
+                stop,
+                handle: Some(handle),
+                esys,
+            }),
+            Err(error) => {
+                esys.detach_persister();
+                Err((
+                    esys,
+                    SpawnError {
+                        worker: "persister",
+                        error,
+                    },
+                ))
+            }
         }
     }
 

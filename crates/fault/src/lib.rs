@@ -15,11 +15,13 @@
 //! [`mod@crate::sweep`] for the count→replay protocol.
 
 pub mod pipeline;
+pub mod runtime;
 pub mod sweep;
 
 pub use pipeline::{
     enumerate_points_pipelined, replay_pipelined, sweep_all_pipelined, sweep_pipelined,
 };
+pub use runtime::{sweep_runtime, sweep_runtime_all, RuntimeReport};
 pub use sweep::{
     digest_reports, enumerate_points, pinned_digest, replay, replay_with_dump, seed_from_env,
     silence_crash_panics, sweep, sweep_all, ReplayVerdict, SweepConfig, SweepReport, SweepTarget,

@@ -426,11 +426,29 @@ impl Htm {
         if base == 0 {
             return;
         }
-        let spins = (base as u64) << retries.min(10);
+        let spins = backoff_ladder(base, retries);
         self.backoff_hist.record(spins);
         for _ in 0..spins {
             std::hint::spin_loop();
         }
+    }
+}
+
+/// The exponential backoff ladder shared by transaction retry and other
+/// bounded-retry loops (e.g. the epoch system's persister retrying a
+/// transiently failed device): `base << attempt` spins, with the
+/// doubling capped at 10 rungs. Returns the spin count; a `base` of 0
+/// disables backoff entirely.
+#[inline]
+pub fn backoff_ladder(base: u32, attempt: u32) -> u64 {
+    (base as u64) << attempt.min(10)
+}
+
+/// Busy-waits for `spins` ladder spins (see [`backoff_ladder`]).
+#[inline]
+pub fn backoff_spin(spins: u64) {
+    for _ in 0..spins {
+        std::hint::spin_loop();
     }
 }
 

@@ -69,7 +69,10 @@ pub use access::{LockedAccess, MemAccess};
 pub use config::HtmConfig;
 pub use fallback::FallbackLock;
 pub use hist::{HistSnapshot, LogHistogram, HIST_BUCKETS};
-pub use htm::{suppress_memtype_once, versioned_store, versioned_store_slice, Htm, RunError};
+pub use htm::{
+    backoff_ladder, backoff_spin, suppress_memtype_once, versioned_store, versioned_store_slice,
+    Htm, RunError,
+};
 pub use rng::SplitMix64;
 pub use stats::{HtmStats, StatsSnapshot};
 pub use tid::{max_threads, thread_id};

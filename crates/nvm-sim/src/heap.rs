@@ -2,6 +2,7 @@
 //! eviction, crash and recovery.
 
 use crate::config::NvmConfig;
+use crate::device::{DeviceError, DeviceFaults, DeviceOpKind};
 use crate::fault::{CrashPointKind, FaultPlan};
 use crate::latency::spin_ns;
 use crate::stats::NvmStats;
@@ -101,6 +102,11 @@ pub struct NvmHeap {
     fault_armed: AtomicBool,
     /// The armed crash schedule, if any (see [`crate::fault`]).
     fault: Mutex<Option<Arc<FaultPlan>>>,
+    /// Fast-path gate for transient device faults (same discipline as
+    /// `fault_armed`), checked only by the fallible `try_*` entry points.
+    device_armed: AtomicBool,
+    /// The armed transient-fault schedule, if any (see [`crate::device`]).
+    device: Mutex<Option<Arc<DeviceFaults>>>,
 }
 
 impl NvmHeap {
@@ -117,6 +123,8 @@ impl NvmHeap {
             stats: NvmStats::new(),
             fault_armed: AtomicBool::new(false),
             fault: Mutex::new(None),
+            device_armed: AtomicBool::new(false),
+            device: Mutex::new(None),
         }
     }
 
@@ -133,6 +141,8 @@ impl NvmHeap {
             stats: NvmStats::new(),
             fault_armed: AtomicBool::new(false),
             fault: Mutex::new(None),
+            device_armed: AtomicBool::new(false),
+            device: Mutex::new(None),
         }
     }
 
@@ -160,6 +170,34 @@ impl NvmHeap {
         if let Some(plan) = plan {
             plan.observe(self, kind);
         }
+    }
+
+    /// Arms a transient-fault schedule: subsequent calls to the fallible
+    /// entry points ([`NvmHeap::try_clwb`], [`NvmHeap::try_persist_range`],
+    /// [`NvmHeap::try_fence`]) may return [`DeviceError`]s or stall. The
+    /// infallible paths are unaffected. See [`crate::device`].
+    pub fn arm_device_faults(&self, faults: Arc<DeviceFaults>) {
+        *self.device.lock() = Some(faults);
+        self.device_armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarms and returns the current transient-fault schedule, if any.
+    pub fn disarm_device_faults(&self) -> Option<Arc<DeviceFaults>> {
+        self.device_armed.store(false, Ordering::SeqCst);
+        self.device.lock().take()
+    }
+
+    /// Consults the armed transient-fault schedule for one guarded device
+    /// operation, charging any latency spike on the calling thread.
+    #[inline]
+    fn device_fault(&self, op: DeviceOpKind) -> Option<DeviceError> {
+        if !self.device_armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let faults = self.device.lock().clone()?;
+        let (spike_ns, err) = faults.draw(op);
+        spin_ns(spike_ns);
+        err
     }
 
     pub fn config(&self) -> &NvmConfig {
@@ -354,6 +392,48 @@ impl NvmHeap {
             self.fence();
         }
         ok
+    }
+
+    /// Fallible [`NvmHeap::clwb`]: consults the armed [`DeviceFaults`]
+    /// schedule first and returns a transient [`DeviceError`] (nothing
+    /// reaches media) if it fires. With no schedule armed this is exactly
+    /// `clwb` — same crash points, same stats, same latency.
+    #[inline]
+    pub fn try_clwb(&self, addr: NvmAddr) -> Result<bool, DeviceError> {
+        if let Some(e) = self.device_fault(DeviceOpKind::Writeback) {
+            return Err(e);
+        }
+        Ok(self.clwb(addr))
+    }
+
+    /// Fallible [`NvmHeap::persist_range`]: each covered line goes through
+    /// [`NvmHeap::try_clwb`]. On a transient error, lines already written
+    /// back stay written back (write-back is idempotent, so retrying the
+    /// whole range is safe).
+    pub fn try_persist_range(&self, addr: NvmAddr, words: u64) -> Result<bool, DeviceError> {
+        if words == 0 {
+            return Ok(true);
+        }
+        let first = addr.line();
+        let last = NvmAddr(addr.0 + words - 1).line();
+        for line in first..=last {
+            if !self.try_clwb(NvmAddr(line * WORDS_PER_LINE))? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Fallible [`NvmHeap::fence`]: a transient error means the drain did
+    /// not complete and prior write-backs must be considered undrained
+    /// (re-issue the write-backs and the fence on retry).
+    #[inline]
+    pub fn try_fence(&self) -> Result<(), DeviceError> {
+        if let Some(e) = self.device_fault(DeviceOpKind::Fence) {
+            return Err(e);
+        }
+        self.fence();
+        Ok(())
     }
 
     fn writeback_line(&self, line: u64) {

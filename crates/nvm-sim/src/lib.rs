@@ -31,12 +31,14 @@
 //! XPLine (256 B) granularity so write amplification (§5.1) is measurable.
 
 mod config;
+pub mod device;
 pub mod fault;
 mod heap;
 mod latency;
 mod stats;
 
 pub use config::{EvictionPolicy, NvmConfig};
+pub use device::{DeviceError, DeviceFaults, DeviceOpKind};
 pub use fault::{CrashPointKind, CrashTriggered, FaultPlan};
 pub use heap::{CrashImage, NvmAddr, NvmHeap, WORDS_PER_LINE, WORDS_PER_XPLINE};
 pub use latency::spin_ns;

@@ -28,6 +28,8 @@
 
 mod bdl;
 mod dl;
+#[cfg(test)]
+mod quarantine;
 
 pub use bdl::{BdlSkiplist, SKIP_KV_TAG};
 pub use dl::{DlSkiplist, PersistMode};

@@ -1,0 +1,84 @@
+//! Quarantine wrapper for historically flaky concurrent tests.
+//!
+//! Runs a test body on a watched thread so a hang becomes a bounded
+//! *failure* — with whatever diagnostic the body registered, e.g. the
+//! epoch system's flight recorder — instead of wedging the whole
+//! suite, and retries genuine panics a bounded number of times before
+//! giving up. Each attempt builds its own structure, so a retry never
+//! sees state a previous panic left behind.
+
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Per-attempt handle the body uses to register a hang diagnostic.
+pub(crate) struct Quarantine {
+    dump: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl Quarantine {
+    /// Registers the diagnostic to run (on the watching thread) if this
+    /// attempt hangs — typically a flight-recorder dump.
+    pub(crate) fn on_hang(&self, f: impl Fn() + Send + Sync + 'static) {
+        *self.dump.lock().unwrap_or_else(|e| e.into_inner()) = Some(Box::new(f));
+    }
+}
+
+/// Runs `body` up to `attempts` times, each bounded by `timeout`:
+/// success returns, a panic retries (after printing the payload), and
+/// a timeout fails the test immediately — a hung worker cannot be
+/// killed, so it is leaked, the registered diagnostic is dumped, and
+/// the suite moves on instead of wedging.
+pub(crate) fn run_quarantined<F>(name: &str, attempts: u32, timeout: Duration, body: F)
+where
+    F: Fn(&Quarantine) + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    for attempt in 1..=attempts {
+        let q = Arc::new(Quarantine {
+            dump: Mutex::new(None),
+        });
+        let (tx, rx) = mpsc::channel();
+        let (b, q2) = (Arc::clone(&body), Arc::clone(&q));
+        let owned_name = name.to_string();
+        let worker = std::thread::Builder::new()
+            .name(format!("quarantine-{name}"))
+            .spawn(move || {
+                let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b(&q2)));
+                if let Err(payload) = &verdict {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".into());
+                    eprintln!("quarantine {owned_name}: worker panicked: {msg}");
+                }
+                let _ = tx.send(verdict.is_ok());
+            })
+            .expect("spawn quarantined test worker");
+        match rx.recv_timeout(timeout) {
+            Ok(true) => {
+                let _ = worker.join();
+                if attempt > 1 {
+                    eprintln!("quarantine {name}: passed on attempt {attempt}/{attempts}");
+                }
+                return;
+            }
+            Ok(false) => {
+                let _ = worker.join();
+                eprintln!("quarantine {name}: attempt {attempt}/{attempts} failed; retrying");
+            }
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                if let Some(dump) = q.dump.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    eprintln!("quarantine {name}: hang diagnostic:");
+                    dump();
+                }
+                panic!(
+                    "quarantine {name}: attempt {attempt} exceeded {timeout:?} — \
+                     worker leaked, failing instead of wedging the suite"
+                );
+            }
+        }
+    }
+    panic!("quarantine {name}: all {attempts} attempts failed");
+}

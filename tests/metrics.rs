@@ -77,7 +77,7 @@ fn json_round_trips_through_the_parser() {
         doc.get("schema").and_then(|v| v.as_str()),
         Some("bdhtm-metrics")
     );
-    assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(2));
 
     // Counters survive serialization exactly.
     let h = report.htm.unwrap();
@@ -109,6 +109,24 @@ fn json_round_trips_through_the_parser() {
     assert_eq!(
         derived.get("frontier_lag").and_then(|v| v.as_u64()),
         Some(d.frontier_lag)
+    );
+
+    // v2 additions: the health gauge and the runtime-fault counters.
+    assert_eq!(
+        derived.get("health").and_then(|v| v.as_str()),
+        Some(d.health.as_str())
+    );
+    assert_eq!(
+        epoch.get("persist_retries").and_then(|v| v.as_u64()),
+        Some(e.persist_retries)
+    );
+    assert_eq!(
+        epoch.get("degradations").and_then(|v| v.as_u64()),
+        Some(e.degradations)
+    );
+    assert_eq!(
+        epoch.get("watchdog_fires").and_then(|v| v.as_u64()),
+        Some(e.watchdog_fires)
     );
 
     // Histogram bucket lists carry the full count.
