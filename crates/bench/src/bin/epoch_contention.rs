@@ -1,0 +1,210 @@
+//! Hot-path contention microbench for the sharded epoch accounting
+//! (PR 7: `esys/` decomposition).
+//!
+//! N threads run the tiniest possible buffered-durable operation in a
+//! closed loop — `begin_op`, one `p_track` of a preallocated per-thread
+//! block, `end_op` — while a coordinator thread advances the epoch at a
+//! fixed cadence so arenas rotate and seals/drains actually run. Two
+//! modes are timed:
+//!
+//! * **sharded** — the real hot path: single-writer thread arenas and
+//!   per-thread accounting stripes; no mutex, no cross-thread RMW.
+//! * **legacy** — the same loop plus an emulation of what the
+//!   pre-refactor hot path paid per op: three lock/unlock rounds on a
+//!   per-thread `Mutex<ThreadState>` stand-in (begin_op, p_track and
+//!   end_op each took it) and one `fetch_add` on a single global
+//!   buffered-words atomic.
+//!
+//! The ratio sharded/legacy is the microbench's verdict on the refactor
+//! and is what ci.sh gates on (`--min-ratio`). The emulation approach
+//! keeps the comparison runnable after the old code is gone, and keeps
+//! it honest on any core count: both modes execute the identical real
+//! work, the legacy mode just re-adds the removed synchronization.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin epoch_contention -- \
+//!     --threads 8 --secs 0.3 --min-ratio 1.1 --metrics-json BENCH_shard.json
+//! ```
+//!
+//! With `--metrics-json <path>` the run writes a small JSON report
+//! (mode throughputs, ratio, gate) in the same spirit as
+//! `BENCH_pipeline.json`.
+
+use bdhtm_core::{EpochConfig, EpochSys};
+use htm_sim::sync::CachePadded;
+use nvm_sim::{NvmConfig, NvmHeap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: epoch_contention [--threads N] [--secs F] [--advance-us N] \
+         [--min-ratio F] [--metrics-json <path>]"
+    );
+    std::process::exit(2);
+}
+
+/// Per-op costs the pre-refactor hot path paid, re-added artificially
+/// in legacy mode: the per-thread state mutex (uncontended, but three
+/// lock/unlock atomic round-trips per op) and the shared buffered-words
+/// counter (a cross-thread RMW on one cache line).
+struct LegacyCosts {
+    thread_state: Box<[CachePadded<Mutex<u64>>]>,
+    buffered_words: CachePadded<AtomicU64>,
+}
+
+impl LegacyCosts {
+    fn new(threads: usize) -> LegacyCosts {
+        LegacyCosts {
+            thread_state: (0..threads)
+                .map(|_| CachePadded::new(Mutex::new(0)))
+                .collect(),
+            buffered_words: CachePadded::new(AtomicU64::new(0)),
+        }
+    }
+
+    #[inline]
+    fn per_op(&self, tid: usize, words: u64) {
+        // begin_op, p_track, end_op each took the thread-state mutex.
+        for _ in 0..3 {
+            *self.thread_state[tid].lock().unwrap() += 1;
+        }
+        // p_track did one fetch_add on the global counter.
+        self.buffered_words.fetch_add(words, Ordering::Relaxed);
+    }
+}
+
+/// One timed run; returns ops/second across all workers.
+fn run_mode(threads: usize, secs: f64, advance_us: u64, legacy: Option<&LegacyCosts>) -> f64 {
+    let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(64 << 20)));
+    let es = EpochSys::format(heap, EpochConfig::manual());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = AtomicU64::new(0);
+    let start = Barrier::new(threads + 2);
+    let mut elapsed = 0.0f64;
+
+    std::thread::scope(|s| {
+        for tid in 0..threads {
+            let es = Arc::clone(&es);
+            let stop = Arc::clone(&stop);
+            let (total, start) = (&total, &start);
+            s.spawn(move || {
+                // The tiniest op: track one preallocated block. The
+                // block is made once so the loop measures tracking, not
+                // allocation.
+                es.begin_op();
+                let blk = es.p_new(2);
+                es.end_op();
+                start.wait();
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    es.begin_op();
+                    es.p_track(blk);
+                    es.end_op();
+                    if let Some(costs) = legacy {
+                        costs.per_op(tid, 4);
+                    }
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        // Coordinator: advance on a cadence so buffer generations
+        // rotate, seals dedup, and the accounting drains — the full
+        // lifecycle, not an ever-growing epoch.
+        {
+            let es = Arc::clone(&es);
+            let stop = Arc::clone(&stop);
+            let start = &start;
+            s.spawn(move || {
+                start.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_micros(advance_us));
+                    es.advance();
+                }
+            });
+        }
+        start.wait();
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_secs_f64(secs));
+        stop.store(true, Ordering::Relaxed);
+        elapsed = t0.elapsed().as_secs_f64();
+    });
+
+    // Drain what is still buffered so every run ends quiesced.
+    es.advance();
+    es.advance();
+    assert_eq!(es.buffered_words(), 0, "run must drain to zero");
+    total.load(Ordering::Relaxed) as f64 / elapsed
+}
+
+fn main() {
+    let mut threads = 8usize;
+    let mut secs: f64 = std::env::var("BDHTM_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.3);
+    let mut advance_us = 200u64;
+    let mut min_ratio: Option<f64> = None;
+    let mut json_path: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--threads" => threads = val().parse().unwrap_or_else(|_| usage()),
+            "--secs" => secs = val().parse().unwrap_or_else(|_| usage()),
+            "--advance-us" => advance_us = val().parse().unwrap_or_else(|_| usage()),
+            "--min-ratio" => min_ratio = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--metrics-json" => json_path = Some(val()),
+            other => {
+                if let Some(p) = other.strip_prefix("--metrics-json=") {
+                    json_path = Some(p.to_string());
+                } else {
+                    usage()
+                }
+            }
+        }
+    }
+
+    // Warm-up pass (thread-id assignment, allocator, page faults), then
+    // the two timed modes. Legacy first so any turbo/thermal drift on
+    // small containers biases *against* the sharded run.
+    let legacy_costs = LegacyCosts::new(threads);
+    run_mode(threads, secs.min(0.05), advance_us, None);
+    let legacy = run_mode(threads, secs, advance_us, Some(&legacy_costs));
+    let sharded = run_mode(threads, secs, advance_us, None);
+    let ratio = sharded / legacy.max(1.0);
+
+    println!(
+        "# epoch_contention: {threads} threads, {secs:.2}s/mode, advance every {advance_us}us"
+    );
+    println!("{:<10} {:>12} ops/s", "legacy", legacy as u64);
+    println!("{:<10} {:>12} ops/s", "sharded", sharded as u64);
+    println!("{:<10} {:>12.3}x", "ratio", ratio);
+
+    if let Some(path) = &json_path {
+        let json = format!(
+            "{{\"comparison\":\"epoch-shard\",\"threads\":{threads},\
+             \"secs_per_mode\":{secs},\"advance_us\":{advance_us},\
+             \"legacy_ops_per_sec\":{legacy:.0},\
+             \"sharded_ops_per_sec\":{sharded:.0},\
+             \"ratio\":{ratio:.4},\"min_ratio\":{}}}",
+            min_ratio.map_or("null".to_string(), |r| format!("{r}"))
+        );
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("shard comparison written to {path}");
+    }
+
+    if let Some(min) = min_ratio {
+        if ratio < min {
+            eprintln!("epoch_contention: sharded/legacy ratio {ratio:.3} below required {min:.3}");
+            std::process::exit(1);
+        }
+    }
+}

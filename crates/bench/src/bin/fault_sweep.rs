@@ -21,14 +21,15 @@
 
 use fault::{
     pinned_digest, seed_from_env, sweep_all, sweep_all_pipelined, sweep_runtime_all, RuntimeReport,
-    SweepConfig, SweepReport,
+    SweepConfig, SweepReport, PINNED_SWEEP_DIGEST,
 };
 use htm_sim::HtmConfig;
 
 fn usage() -> ! {
     eprintln!(
         "usage: fault_sweep [--seed N] [--ops N] [--replays N] \
-         [--modes plain,torn,double,aborts,pipelined,pipelined-torn,runtime] [--digest]"
+         [--modes plain,torn,double,aborts,pipelined,pipelined-torn,runtime] \
+         [--digest [--check]]"
     );
     std::process::exit(2);
 }
@@ -38,6 +39,7 @@ fn main() {
     let mut ops = 240usize;
     let mut replays = 150u64;
     let mut digest = false;
+    let mut check = false;
     let mut modes: Vec<String> = [
         "plain",
         "torn",
@@ -60,15 +62,26 @@ fn main() {
             "--replays" => replays = val().parse().unwrap_or_else(|_| usage()),
             "--modes" => modes = val().split(',').map(|s| s.trim().to_string()).collect(),
             "--digest" => digest = true,
+            "--check" => check = true,
             _ => usage(),
         }
     }
 
     if digest {
         // Behavior-preservation mode: print the pinned-seed outcome
-        // digest and nothing else, so CI can diff it against a recorded
-        // constant (see ci.sh).
-        println!("{:#018x}", pinned_digest(seed));
+        // digest; with --check, also compare it to the single recorded
+        // constant (fault::PINNED_SWEEP_DIGEST) so CI reads one source
+        // of truth instead of restating the hex in shell.
+        let d = pinned_digest(seed);
+        println!("{d:#018x}");
+        if check && d != PINNED_SWEEP_DIGEST {
+            eprintln!(
+                "pinned-seed sweep digest changed: got {d:#018x}, want {PINNED_SWEEP_DIGEST:#018x}"
+            );
+            eprintln!("(a refactor altered crash-point schedules or recovery outcomes;");
+            eprintln!(" if intentional, update fault::digest::PINNED_SWEEP_DIGEST)");
+            std::process::exit(1);
+        }
         return;
     }
 

@@ -1,0 +1,516 @@
+//! The seal → persist pipeline: sealed [`EpochBatch`]es, the bounded
+//! in-flight queue, and batch write-back (the §3 "step 2" of an epoch
+//! transition, split off the clock path so a background
+//! [`Persister`](crate::Persister) can run it).
+//!
+//! Ordering here is deliberately boring: everything cross-thread goes
+//! through one std mutex plus two condvars (so waiters block instead
+//! of spinning), the persist lock serializes write-backs so the
+//! durable frontier stays monotone, and the only atomics are the
+//! persister head-count (Acquire/Release) and the stats counters
+//! (Relaxed). Nothing in this module participates in the clock's
+//! Dekker handshake — by the time a batch exists, its epoch has
+//! already quiesced.
+
+use crate::error::HealthState;
+use crate::obs::EventKind;
+use htm_sim::{backoff_ladder, backoff_spin};
+use nvm_sim::{DeviceError, NvmAddr};
+use persist_alloc::{Header, CLASS_WORDS, HDR_WORDS};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard};
+use std::time::Duration;
+
+use super::facade::{EpochSys, ROOT_FRONTIER};
+
+/// A sealed snapshot of everything one closed epoch tracked, sorted and
+/// deduplicated by block address, ready for write-back.
+///
+/// Sealing happens on the advancing thread under the advance lock (the
+/// cheap foreground half of an epoch transition); the write-back,
+/// fence, frontier publish, and reclamation happen when the batch is
+/// *persisted* — by a [`Persister`](crate::Persister) worker in
+/// pipelined mode, or inline on the advancing thread otherwise.
+pub struct EpochBatch {
+    /// The epoch this batch closes: once persisted, the durable
+    /// frontier becomes exactly this value.
+    pub(super) epoch: u64,
+    /// Unique tracked blocks in address order (address order is cache
+    /// line order — duplicates merged at seal time). The second field
+    /// is the word count still accounted against the buffered set.
+    pub(super) persist: Vec<(NvmAddr, u64)>,
+    pub(super) retire: Vec<NvmAddr>,
+    /// Words to refund from the buffered-set account when the batch
+    /// persists (duplicate trackings were refunded at seal time).
+    pub(super) accounted: u64,
+}
+
+impl EpochBatch {
+    /// Sorts, dedups, and accounts the drained buffers. Returns the
+    /// batch plus the *excess* words double-counted by duplicate
+    /// `p_track` calls — the fix for the historical double-accounting
+    /// bug: a block tracked N times in one epoch used to hit media N
+    /// times and inflate the buffered-word account N-fold; now it
+    /// persists once and the N−1 duplicate accountings are refunded
+    /// immediately.
+    pub(super) fn seal(
+        epoch: u64,
+        mut persist: Vec<(NvmAddr, u64)>,
+        retire: Vec<NvmAddr>,
+    ) -> (Self, u64) {
+        persist.sort_unstable_by_key(|&(blk, _)| blk);
+        let mut excess = 0u64;
+        persist.dedup_by(|dup, kept| {
+            if dup.0 == kept.0 {
+                excess += dup.1;
+                true
+            } else {
+                false
+            }
+        });
+        let accounted =
+            persist.iter().map(|&(_, w)| w).sum::<u64>() + retire.len() as u64 * HDR_WORDS;
+        (
+            EpochBatch {
+                epoch,
+                persist,
+                retire,
+                accounted,
+            },
+            excess,
+        )
+    }
+
+    /// The epoch this batch closes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Unique blocks to write back.
+    pub fn blocks(&self) -> usize {
+        self.persist.len()
+    }
+}
+
+/// Shared state of the seal→persist pipeline, guarded by a std mutex so
+/// waiters can block on [`Condvar`]s instead of spinning.
+pub(super) struct PipelineQueue {
+    pub(super) batches: VecDeque<EpochBatch>,
+    /// Sealed batches not yet fully persisted: the queue above plus the
+    /// batch a persister is currently writing back. This — not the
+    /// queue length — is what `EpochConfig::pipeline_depth` bounds.
+    pub(super) in_flight: usize,
+}
+
+pub(super) struct Pipeline {
+    q: StdMutex<PipelineQueue>,
+    /// Signaled when a batch is enqueued (wakes the persister worker).
+    pub(super) batch_ready: Condvar,
+    /// Signaled when a batch finishes persisting (wakes clock-stall,
+    /// backpressure, and `advance_until` waiters).
+    pub(super) batch_done: Condvar,
+    /// Attached [`Persister`](crate::Persister) workers. Pipelining
+    /// engages only while this is non-zero (and the config allows it);
+    /// otherwise every advance drains the queue inline, so programs
+    /// that never spawn a persister keep the synchronous behavior.
+    pub(super) persisters: AtomicU64,
+}
+
+impl Pipeline {
+    pub(super) fn new() -> Self {
+        Pipeline {
+            q: StdMutex::new(PipelineQueue {
+                batches: VecDeque::new(),
+                in_flight: 0,
+            }),
+            batch_ready: Condvar::new(),
+            batch_done: Condvar::new(),
+            persisters: AtomicU64::new(0),
+        }
+    }
+
+    /// Queue lock, immune to poisoning: a fault-plan crash can unwind a
+    /// persister thread, and the pipeline state is coarse counters that
+    /// stay coherent across an unwind.
+    pub(super) fn lock(&self) -> MutexGuard<'_, PipelineQueue> {
+        self.q.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl EpochSys {
+    /// Sealed batches currently in flight (queued or being written
+    /// back). Watchdog/diagnostic introspection.
+    pub fn batches_in_flight(&self) -> usize {
+        self.pipeline.lock().in_flight
+    }
+
+    /// Whether sealed batches go to a background persister (config
+    /// allows it, at least one worker is attached, and the system has
+    /// not degraded to synchronous inline persistence).
+    pub(super) fn pipelined(&self) -> bool {
+        self.config().background_persist
+            && self.pipeline.persisters.load(Ordering::Acquire) > 0
+            && self.health.load(Ordering::Acquire) == HealthState::Ok as u8
+    }
+
+    /// Registers a persister worker; advances switch from inline
+    /// write-back to seal-and-enqueue. Normally called by
+    /// [`Persister::spawn`](crate::Persister); public so deterministic
+    /// tests can enter pipelined mode without a background thread and
+    /// drain by hand with [`persist_next_batch`](Self::persist_next_batch)
+    /// (pair every attach with a [`detach_persister`](Self::detach_persister)).
+    pub fn attach_persister(&self) {
+        self.pipeline.persisters.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Deregisters a persister worker and wakes every pipeline waiter
+    /// so none blocks on a worker that no longer exists.
+    pub fn detach_persister(&self) {
+        self.pipeline.persisters.fetch_sub(1, Ordering::AcqRel);
+        self.pipeline.batch_ready.notify_all();
+        self.pipeline.batch_done.notify_all();
+    }
+
+    /// Blocks the persister worker until a batch may be ready or
+    /// `timeout` elapses.
+    pub(crate) fn wait_batch_ready(&self, timeout: Duration) {
+        let q = self.pipeline.lock();
+        if q.batches.is_empty() {
+            let _ = self
+                .pipeline
+                .batch_ready
+                .wait_timeout(q, timeout)
+                .unwrap_or_else(|err| err.into_inner());
+        }
+    }
+
+    /// Wakes the persister worker(s) (used by `Persister::stop`).
+    pub(crate) fn notify_persisters(&self) {
+        self.pipeline.batch_ready.notify_all();
+    }
+
+    /// Writes back the oldest sealed batch, if any: persist its blocks
+    /// and retirement records, fence, publish the durable frontier, and
+    /// reclaim. Returns whether a batch was persisted.
+    ///
+    /// Normally called by the [`Persister`](crate::Persister) worker;
+    /// public so deterministic tests can drain the pipeline by hand.
+    /// The pop happens under the persist lock, so concurrent callers
+    /// persist batches strictly in seal (= epoch) order and the
+    /// frontier is monotone.
+    ///
+    /// A batch that exhausts its retry budget
+    /// (`EpochConfig::persist_retries`) is pushed back to the front
+    /// of the queue — epoch order preserved, nothing durable lost —
+    /// and the health ladder ratchets up (`Ok → Degraded`, then
+    /// `Degraded → Failed`). Once [`HealthState::Failed`], the queue is
+    /// frozen: this returns `false` without attempting anything, and
+    /// the durable frontier stays at the last fully persisted epoch.
+    pub fn persist_next_batch(&self) -> bool {
+        let _pg = self.persist_lock.lock();
+        if self.health.load(Ordering::SeqCst) == HealthState::Failed as u8 {
+            return false;
+        }
+        let batch = self.pipeline.lock().batches.pop_front();
+        match batch {
+            Some(b) => match self.persist_batch_with_retry(b) {
+                Ok(()) => true,
+                Err((b, err)) => {
+                    // Re-queue at the front so epoch order (and the
+                    // frontier's monotonicity) survives the failure.
+                    self.pipeline.lock().batches.push_front(b);
+                    let next = match self.health() {
+                        HealthState::Ok => HealthState::Degraded,
+                        _ => HealthState::Failed,
+                    };
+                    self.escalate_health(next, Some(err));
+                    false
+                }
+            },
+            None => false,
+        }
+    }
+
+    /// Writes `batch` back with the configured retry budget: transient
+    /// [`DeviceError`]s back off on the HTM exponential ladder (plus
+    /// seeded jitter) and retry; success completes the batch. On budget
+    /// exhaustion the untouched batch is handed back with the typed
+    /// [`PersistError`](crate::PersistError). Retrying the device
+    /// sequence from the top is safe — `persist_range`/`clwb`/frontier
+    /// write are idempotent.
+    fn persist_batch_with_retry(
+        &self,
+        batch: EpochBatch,
+    ) -> Result<(), (EpochBatch, crate::PersistError)> {
+        let t0 = std::time::Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            match self.persist_batch_device(&batch) {
+                Ok(words) => {
+                    self.complete_batch(batch, words, t0);
+                    return Ok(());
+                }
+                Err(cause) => {
+                    attempt += 1;
+                    if attempt > self.config().persist_retries {
+                        let err = crate::PersistError {
+                            epoch: batch.epoch,
+                            attempts: attempt,
+                            cause,
+                        };
+                        return Err((batch, err));
+                    }
+                    self.stats().persist_retries.fetch_add(1, Ordering::Relaxed);
+                    self.obs()
+                        .event(EventKind::PersistRetry, batch.epoch, attempt as u64);
+                    let spins = backoff_ladder(self.config().persist_backoff_spins, attempt - 1);
+                    if spins != 0 {
+                        // Seeded jitter in [0, spins/2) decorrelates
+                        // contending persisters without perturbing
+                        // replay determinism (fixed seed, CAS-stepped).
+                        let draw = self.faults.backoff_draw();
+                        backoff_spin(spins + draw % (spins / 2 + 1));
+                    }
+                }
+            }
+        }
+    }
+
+    /// One device-level write-back attempt: persist the batch's blocks
+    /// and retirement records, fence, and persist the frontier record.
+    /// Pure device traffic — no volatile bookkeeping moves — so a
+    /// failed attempt can be retried from the top. Returns the words
+    /// written back.
+    fn persist_batch_device(&self, batch: &EpochBatch) -> Result<u64, DeviceError> {
+        let heap = self.heap();
+        let mut words = 0u64;
+        for &(blk, _) in &batch.persist {
+            if let Some((_, class)) = Header::state(heap, blk) {
+                heap.try_persist_range(blk, CLASS_WORDS[class])?;
+                words += CLASS_WORDS[class];
+            }
+        }
+        for &blk in &batch.retire {
+            heap.try_persist_range(blk, HDR_WORDS)?;
+            words += HDR_WORDS;
+        }
+        heap.try_fence()?;
+
+        // Frontier record: epochs ≤ batch.epoch are durable once this
+        // line is flushed and fenced.
+        let r = batch.epoch;
+        debug_assert!(self.clock.frontier() <= r, "frontier regression");
+        heap.write(heap.root(ROOT_FRONTIER), r);
+        heap.try_clwb(heap.root(ROOT_FRONTIER))?;
+        heap.try_fence()?;
+        Ok(words)
+    }
+
+    /// The volatile half of a successful write-back: publish the
+    /// frontier mirror, reclaim, refund accounting, record stats and
+    /// events, and release the pipeline slot.
+    fn complete_batch(&self, batch: EpochBatch, words: u64, t0: std::time::Instant) {
+        let r = batch.epoch;
+        self.clock.publish_frontier(r);
+
+        // Reclaim retired blocks — their deletion records are durable,
+        // so recovery can never resurrect them.
+        let reclaimed = batch.retire.len() as u64;
+        for &blk in &batch.retire {
+            self.alloc.free(blk);
+        }
+
+        self.account.drain(batch.accounted);
+        self.stats()
+            .blocks_persisted
+            .fetch_add(batch.persist.len() as u64, Ordering::Relaxed);
+        self.stats()
+            .words_persisted
+            .fetch_add(words, Ordering::Relaxed);
+        self.stats()
+            .blocks_reclaimed
+            .fetch_add(reclaimed, Ordering::Relaxed);
+        self.obs()
+            .batch_persist_ns
+            .record(t0.elapsed().as_nanos() as u64);
+        self.obs()
+            .persist_batch_blocks
+            .record(batch.persist.len() as u64);
+        self.obs()
+            .event(EventKind::PersistBatch, batch.persist.len() as u64, words);
+        self.obs()
+            .event(EventKind::BatchPersisted, r, batch.persist.len() as u64);
+
+        let mut q = self.pipeline.lock();
+        q.in_flight = q.in_flight.saturating_sub(1);
+        drop(q);
+        self.pipeline.batch_done.notify_all();
+    }
+
+    /// Advances until every epoch `≤ epoch` is durable. In pipelined
+    /// mode this seals the needed batches and then *waits* for the
+    /// persister rather than spinning the clock forward. (With a
+    /// permanent injected failure rate of 1.0 this spins forever —
+    /// injected faults are a test facility.)
+    pub fn advance_until(&self, epoch: u64) {
+        while !self.is_disabled() && self.persisted_frontier() < epoch {
+            // Fail-stop freezes the persist queue: the frontier can
+            // never reach `epoch`, so return instead of wedging (the
+            // caller observes the shortfall via `persisted_frontier`).
+            if self.health() == HealthState::Failed {
+                return;
+            }
+            if self.current_epoch() < epoch + 2 {
+                // The batch closing `epoch` is not sealed yet.
+                self.advance();
+            } else if self.pipelined() {
+                let q = self.pipeline.lock();
+                if self.persisted_frontier() >= epoch {
+                    break;
+                }
+                let _ = self
+                    .pipeline
+                    .batch_done
+                    .wait_timeout(q, Duration::from_millis(1))
+                    .unwrap_or_else(|err| err.into_inner());
+            } else {
+                // Sealed batches but no persister (e.g. it detached):
+                // drain them here.
+                if !self.persist_next_batch() {
+                    self.advance();
+                }
+            }
+        }
+    }
+
+    /// Makes everything completed so far durable (two transitions).
+    pub fn flush_all(&self) {
+        if self.is_disabled() {
+            return;
+        }
+        let e = self.current_epoch();
+        self.advance_until(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::fresh;
+    use super::super::{payload, EPOCH_START};
+    use crate::config::EpochConfig;
+    use crate::EpochSys;
+    use nvm_sim::{NvmConfig, NvmHeap};
+    use persist_alloc::Header;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// The tentpole acceptance criterion: with a persister attached,
+    /// `try_advance` performs no `persist_range` on the calling thread —
+    /// it seals, enqueues, and bumps the clock; write-back and the
+    /// frontier publish happen in `persist_next_batch`.
+    #[test]
+    fn pipelined_advance_keeps_writeback_off_the_caller() {
+        let es = fresh();
+        es.attach_persister();
+        let e = es.begin_op();
+        let blk = es.p_new(2);
+        es.payload_word(blk, 0).store(0xBEEF, Ordering::Release);
+        Header::set_epoch(es.heap(), blk, e);
+        es.p_track(blk);
+        es.end_op();
+
+        es.advance(); // seals (empty) epoch EPOCH_START−1
+        let flushes_before = es.heap().stats().snapshot().flushes;
+        let frontier_before = es.persisted_frontier();
+        es.advance(); // seals epoch EPOCH_START — the tracked block
+        assert_eq!(
+            es.heap().stats().snapshot().flushes,
+            flushes_before,
+            "advance must not flush on the calling thread"
+        );
+        assert_eq!(
+            es.persisted_frontier(),
+            frontier_before,
+            "the frontier only moves when a batch actually persists"
+        );
+        assert_eq!(es.current_epoch(), EPOCH_START + 2);
+
+        // Drain by hand — exactly what the Persister worker does.
+        while es.persist_next_batch() {}
+        assert!(es.heap().stats().snapshot().flushes > flushes_before);
+        assert_eq!(es.persisted_frontier(), EPOCH_START);
+        assert_eq!(es.buffered_words(), 0);
+        let img = es.heap().crash();
+        assert_eq!(img.word(payload(blk, 0)), 0xBEEF);
+        es.detach_persister();
+    }
+
+    /// Tracking the same block twice in one epoch used to double-count
+    /// the buffered-word account and hit media twice. Seal-time dedup
+    /// must make the accounting match one write-back.
+    #[test]
+    fn seal_dedups_double_tracked_blocks() {
+        let es = fresh();
+        let e = es.begin_op();
+        let blk = es.p_new(2);
+        Header::set_epoch(es.heap(), blk, e);
+        es.p_track(blk);
+        es.p_track(blk); // second track of the same block, same epoch
+        es.end_op();
+        assert!(es.buffered_words() > 0);
+        es.advance();
+        es.advance();
+        let s = es.stats().snapshot();
+        assert_eq!(s.blocks_persisted, 1, "one media write-back after dedup");
+        assert_eq!(
+            es.buffered_words(),
+            0,
+            "seal-time refund plus persist-time refund must drain the account exactly"
+        );
+    }
+
+    /// A full pipeline stalls the *clock* (the advancing thread), never
+    /// the persister; the stall resolves as soon as a batch completes.
+    #[test]
+    fn full_pipeline_stalls_clock_until_batch_done() {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(8 << 20)));
+        let es = EpochSys::format(heap, EpochConfig::manual().with_pipeline_depth(1));
+        es.attach_persister();
+        es.advance(); // fills the depth-1 pipeline
+        std::thread::scope(|s| {
+            let es2 = Arc::clone(&es);
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                while es2.persist_next_batch() {}
+            });
+            es.advance(); // must stall until the drainer frees a slot
+        });
+        assert!(
+            es.stats().snapshot().pipeline_stalls > 0,
+            "the second advance must have recorded a stall"
+        );
+        assert_eq!(es.current_epoch(), EPOCH_START + 2);
+        while es.persist_next_batch() {}
+        assert_eq!(es.persisted_frontier(), EPOCH_START);
+        es.detach_persister();
+    }
+
+    /// `background_persist = false` forces inline write-back even with a
+    /// persister attached — the deterministic-test escape hatch.
+    #[test]
+    fn background_persist_off_forces_inline_writeback() {
+        let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(8 << 20)));
+        let es = EpochSys::format(heap, EpochConfig::manual().with_background_persist(false));
+        es.attach_persister(); // would normally divert batches
+        es.advance();
+        es.advance();
+        assert_eq!(
+            es.persisted_frontier(),
+            EPOCH_START,
+            "inline mode keeps frontier == clock − 2"
+        );
+        es.detach_persister();
+    }
+}

@@ -22,14 +22,10 @@
 //! rebuild of DRAM index structures (PHTM-vEB, BDL-Skiplist, BD-Spash).
 
 use crate::config::EpochConfig;
-use crate::esys::{EpochSys, EPOCH_START};
+use crate::esys::{EpochSys, EPOCH_MAGIC, EPOCH_START, ROOT_FRONTIER, ROOT_MAGIC};
 use nvm_sim::{NvmAddr, NvmHeap};
 use persist_alloc::{mark_allocated, BlockState, PAlloc, HDR_WORDS, INVALID_EPOCH};
 use std::sync::Arc;
-
-const ROOT_MAGIC: u64 = 0;
-const ROOT_FRONTIER: u64 = 1;
-const EPOCH_MAGIC: u64 = 0xEB0C_BD47_0001_A11C;
 
 /// A block that survived a crash, for index rebuilding.
 #[derive(Clone, Copy, Debug)]

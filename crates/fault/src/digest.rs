@@ -1,0 +1,20 @@
+//! Single source of truth for the pinned behavior-preservation digest.
+//!
+//! [`pinned_digest`](crate::pinned_digest) folds the verdicts of the
+//! pinned-seed plain and torn crash sweeps over every structure family
+//! into one FNV-1a value. CI recomputes it (`fault_sweep --digest
+//! --check`) and fails if it drifts from the constant below — the
+//! cheapest possible "this refactor changed no crash-point schedule and
+//! no recovery outcome" gate.
+//!
+//! If a change *intentionally* alters sweep behavior (new crash points,
+//! different workload, a real recovery fix), update
+//! [`PINNED_SWEEP_DIGEST`] here — and only here; ci.sh and the sweep
+//! binary both read this constant.
+
+/// The seed the pinned digest is defined over (ci.sh exports it as
+/// `FAULT_SEED=0xBD15EED`; also the sweep binary's default).
+pub const PINNED_SWEEP_SEED: u64 = 0xBD1_5EED;
+
+/// Expected value of `pinned_digest(PINNED_SWEEP_SEED)`.
+pub const PINNED_SWEEP_DIGEST: u64 = 0xc80a_d789_4b7a_0701;

@@ -14,10 +14,12 @@
 //! and sweeps every persist boundary a workload crosses — see
 //! [`mod@crate::sweep`] for the count→replay protocol.
 
+pub mod digest;
 pub mod pipeline;
 pub mod runtime;
 pub mod sweep;
 
+pub use digest::{PINNED_SWEEP_DIGEST, PINNED_SWEEP_SEED};
 pub use pipeline::{
     enumerate_points_pipelined, replay_pipelined, sweep_all_pipelined, sweep_pipelined,
 };

@@ -75,7 +75,7 @@ pub use htm::{
 };
 pub use rng::SplitMix64;
 pub use stats::{HtmStats, StatsSnapshot};
-pub use tid::{max_threads, thread_id};
+pub use tid::{max_threads, thread_high_water, thread_id};
 pub use txn::{Abort, AbortCause, TxResult, Txn};
 
 use std::cell::Cell;

@@ -45,6 +45,19 @@ pub fn max_threads() -> usize {
     MAX_THREADS
 }
 
+/// High-water mark of dense ids handed out so far: every id ever
+/// returned by [`thread_id`] is `< thread_high_water()`.
+///
+/// Lets per-thread striped state (counter arrays, arenas) be aggregated
+/// by walking only the slots that can have been written, instead of all
+/// [`max_threads`] of them. The mark only grows; a reader that loads it
+/// and then walks `0..mark` can miss at most the activity of threads
+/// born after the load — the same transient staleness any relaxed
+/// aggregate already has.
+pub fn thread_high_water() -> usize {
+    NEXT_ID.load(Ordering::Acquire).min(MAX_THREADS)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +74,14 @@ mod tests {
         let mine = thread_id();
         let theirs = std::thread::spawn(thread_id).join().unwrap();
         assert_ne!(mine, theirs);
+    }
+
+    #[test]
+    fn high_water_covers_every_assigned_id() {
+        let mine = thread_id();
+        let theirs = std::thread::spawn(thread_id).join().unwrap();
+        let mark = thread_high_water();
+        assert!(mine < mark && theirs < mark);
+        assert!(mark <= max_threads());
     }
 }

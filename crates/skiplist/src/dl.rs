@@ -420,6 +420,7 @@ mod tests {
     use super::*;
     use nvm_sim::NvmConfig;
     use std::collections::BTreeMap;
+    use std::sync::atomic::Ordering::SeqCst;
 
     fn list(mode: PersistMode) -> DlSkiplist {
         DlSkiplist::new(Arc::new(NvmHeap::new(NvmConfig::for_tests(32 << 20))), mode)
@@ -501,15 +502,44 @@ mod tests {
             "dl::concurrent_mixed_ops_keep_per_key_invariant",
             3,
             std::time::Duration::from_secs(120),
-            |_q| {
-                for mode in [PersistMode::Strict, PersistMode::HtmMwcas] {
+            |q| {
+                // Hang diagnostic: DL has no epoch system (and so no
+                // flight recorder) — report which persist-mode phase
+                // wedged and how far each worker got instead. A stuck
+                // MWCAS or flush shows up as one counter frozen short
+                // of 2000 while the others finished.
+                let phase = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+                let progress: Arc<[std::sync::atomic::AtomicU64; 4]> =
+                    Arc::new(std::array::from_fn(|_| {
+                        std::sync::atomic::AtomicU64::new(0)
+                    }));
+                {
+                    let (phase, progress) = (Arc::clone(&phase), Arc::clone(&progress));
+                    q.on_hang(move || {
+                        let modes = ["Strict", "HtmMwcas"];
+                        eprintln!("  phase: PersistMode::{}", modes[phase.load(SeqCst).min(1)]);
+                        for (t, ops) in progress.iter().enumerate() {
+                            eprintln!("  worker {t}: {} / 2000 ops", ops.load(SeqCst));
+                        }
+                    });
+                }
+                for (mi, mode) in [PersistMode::Strict, PersistMode::HtmMwcas]
+                    .into_iter()
+                    .enumerate()
+                {
+                    phase.store(mi, SeqCst);
+                    for p in progress.iter() {
+                        p.store(0, SeqCst);
+                    }
                     let l = Arc::new(list(mode));
                     std::thread::scope(|s| {
                         for t in 0..4u64 {
                             let l = Arc::clone(&l);
+                            let progress = Arc::clone(&progress);
                             s.spawn(move || {
                                 let mut rng = t * 31 + 1;
                                 for _ in 0..2000 {
+                                    progress[t as usize].fetch_add(1, SeqCst);
                                     rng ^= rng >> 12;
                                     rng ^= rng << 25;
                                     rng ^= rng >> 27;
