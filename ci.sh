@@ -39,6 +39,43 @@ echo "==> metrics smoke (quickstart --metrics-json + validation)"
 cargo run --release -q --example quickstart -- --metrics-json target/metrics-smoke.json
 ./target/release/metrics_check target/metrics-smoke.json
 
+echo "==> durability-lag telemetry smoke (series + trace on a pipelined run)"
+# A short pipelined fig7 run streaming the metrics time series and the
+# Perfetto trace; metrics_check validates all three artifacts (report
+# invariants incl. v3 lag quantiles, dense/monotone series, balanced
+# trace flow arrows). The report must carry nonzero durability-lag
+# samples: pipelined mode always defers durability behind commit.
+BDHTM_SECS=0.25 BDHTM_SCALE=12 BDHTM_THREADS=2 \
+    ./target/release/fig7_epoch_length --pipeline=bg \
+    --metrics-json target/lag-smoke.json \
+    --metrics-series target/lag-smoke.jsonl --series-interval-ms 20 \
+    --trace-out target/lag-smoke-trace.json >/dev/null
+./target/release/metrics_check target/lag-smoke.json
+./target/release/metrics_check --series target/lag-smoke.jsonl
+./target/release/metrics_check --trace target/lag-smoke-trace.json
+lag_count=$(grep -o '"durability_lag_ns":{"unit":"ns","count":[0-9]*' \
+    target/lag-smoke.json | grep -o '[0-9]*$')
+[ "${lag_count:-0}" -gt 0 ] || {
+    echo "pipelined run recorded no durability-lag spans"; exit 1; }
+echo "durability-lag smoke OK (${lag_count} spans)"
+
+echo "==> println! hygiene (library code logs via metrics/trace, not stdout)"
+# Benches and examples print; library crates must not (stderr via
+# eprintln! is fine — it does not corrupt machine-readable stdout).
+# bin/, tests, and in-file #[cfg(test)] modules are exempt.
+stray=$(grep -rnE '(^|[^e])println!' crates/*/src --include='*.rs' \
+    | grep -v '/bin/' | grep -v '/tests/' \
+    | while IFS=: read -r file line _; do
+        # exempt matches inside the file's trailing test module
+        testline=$(grep -n '#\[cfg(test)\]' "$file" | head -1 | cut -d: -f1)
+        if [ -z "$testline" ] || [ "$line" -lt "$testline" ]; then
+            echo "$file:$line"
+        fi
+    done)
+if [ -n "$stray" ]; then
+    echo "stray println! in library code:"; echo "$stray"; exit 1
+fi
+
 echo "==> fault sweep digest (behavior-preservation pin)"
 # Expected value lives in one place: fault::digest::PINNED_SWEEP_DIGEST.
 FAULT_SEED=0xBD15EED ./target/release/fault_sweep --digest --check

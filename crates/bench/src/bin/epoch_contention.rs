@@ -148,9 +148,13 @@ fn main() {
         .unwrap_or(0.3);
     let mut advance_us = 200u64;
     let mut min_ratio: Option<f64> = None;
-    let mut json_path: Option<String> = None;
 
-    let mut args = std::env::args().skip(1);
+    // The shared parser owns --metrics-json (here: the shard-comparison
+    // report, its own small schema) so the flag spellings stay uniform
+    // across every binary; everything else is this binary's.
+    let common = bench::CommonArgs::parse();
+    let json_path = common.metrics_json.clone();
+    let mut args = common.rest.iter().cloned();
     while let Some(a) = args.next() {
         let mut val = || args.next().unwrap_or_else(|| usage());
         match a.as_str() {
@@ -158,14 +162,7 @@ fn main() {
             "--secs" => secs = val().parse().unwrap_or_else(|_| usage()),
             "--advance-us" => advance_us = val().parse().unwrap_or_else(|_| usage()),
             "--min-ratio" => min_ratio = Some(val().parse().unwrap_or_else(|_| usage())),
-            "--metrics-json" => json_path = Some(val()),
-            other => {
-                if let Some(p) = other.strip_prefix("--metrics-json=") {
-                    json_path = Some(p.to_string());
-                } else {
-                    usage()
-                }
-            }
+            _ => usage(),
         }
     }
 

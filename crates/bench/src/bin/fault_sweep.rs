@@ -17,8 +17,13 @@
 //!
 //! The sweep is deterministic in `FAULT_SEED` (or `--seed`): the same
 //! seed reproduces the same workload, crash schedule, and verdicts.
-//! Exits nonzero if any replay fails.
+//! Exits nonzero if any replay fails. On the *first* invariant failure
+//! the flight-recorder tail of the failing replay is also exported as a
+//! Perfetto trace (`--trace-out <path>`, default
+//! `fault_sweep_trace.json`), so the failure ships with a timeline, not
+//! just a text dump.
 
+use bdhtm_core::trace::{chrome_trace, TraceMeta};
 use fault::{
     pinned_digest, seed_from_env, sweep_all, sweep_all_pipelined, sweep_runtime_all, RuntimeReport,
     SweepConfig, SweepReport, PINNED_SWEEP_DIGEST,
@@ -29,7 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: fault_sweep [--seed N] [--ops N] [--replays N] \
          [--modes plain,torn,double,aborts,pipelined,pipelined-torn,runtime] \
-         [--digest [--check]]"
+         [--trace-out PATH] [--digest [--check]]"
     );
     std::process::exit(2);
 }
@@ -53,7 +58,13 @@ fn main() {
     .map(|s| s.to_string())
     .collect();
 
-    let mut args = std::env::args().skip(1);
+    let common = bench::CommonArgs::parse();
+    let trace_out = common
+        .trace_out
+        .clone()
+        .unwrap_or_else(|| "fault_sweep_trace.json".to_string());
+
+    let mut args = common.rest.iter().cloned();
     while let Some(a) = args.next() {
         let mut val = || args.next().unwrap_or_else(|| usage());
         match a.as_str() {
@@ -97,6 +108,7 @@ fn main() {
     );
 
     let mut failed = false;
+    let mut trace_written = false;
     for mode in &modes {
         // `runtime` keeps the machine alive and makes the *device*
         // unreliable instead: seeded transient write-back/fence faults
@@ -157,6 +169,18 @@ fn main() {
                     );
                     for line in &report.flight_dump {
                         eprintln!("    {line}");
+                    }
+                }
+                // Export the first failure's timeline once per process:
+                // open it in ui.perfetto.dev to see the crash in context.
+                if !trace_written && !report.flight_events.is_empty() {
+                    let json = chrome_trace(&report.flight_events, &TraceMeta::default());
+                    match std::fs::write(&trace_out, &json) {
+                        Ok(()) => {
+                            trace_written = true;
+                            eprintln!("  trace of the failing replay written to {trace_out}");
+                        }
+                        Err(e) => eprintln!("  cannot write trace to {trace_out}: {e}"),
                     }
                 }
             }

@@ -1,17 +1,30 @@
-//! Validates a `--metrics-json` report file: parses it with the
-//! in-tree JSON reader, checks the schema header, and asserts the
-//! coherence invariants that hold for any correctly assembled report.
-//! Used by ci.sh as the metrics smoke gate.
+//! Validates the observability outputs of the experiment binaries:
+//! parses them with the in-tree JSON reader, checks the schema headers,
+//! and asserts the coherence invariants that hold for any correctly
+//! assembled output. Used by ci.sh as the metrics smoke gate.
 //!
 //! ```sh
 //! cargo run --release -q --example quickstart -- --metrics-json m.json
 //! cargo run --release -p bench --bin metrics_check -- m.json
+//! cargo run --release -p bench --bin metrics_check -- --series s.jsonl
+//! cargo run --release -p bench --bin metrics_check -- --trace t.json
 //! cargo run --release -p bench --bin metrics_check -- \
 //!     --compare-pipeline sync.json pipe.json --out BENCH_pipeline.json
 //! ```
 //!
 //! Exits 0 and prints a one-line summary on success; exits 1 with a
 //! diagnostic on the first violated invariant.
+//!
+//! `--series` validates a `--metrics-series` JSON-lines stream: every
+//! line must carry the series schema header, sequence numbers must be
+//! dense from 0, timestamps monotone, and each embedded delta report
+//! must satisfy the same invariants as a full report (deltas inherit
+//! them: counts difference, the running max bounds the delta quantiles).
+//!
+//! `--trace` validates a `--trace-out` Chrome trace_event file: the
+//! document must parse, every event must carry a known phase, complete
+//! spans need durations, and durability-lag flow arrows must come in
+//! matched start/finish pairs.
 //!
 //! `--compare-pipeline` validates two reports from the same workload —
 //! one with synchronous (inline) epoch persistence, one with the
@@ -21,7 +34,7 @@
 //! the synchronous run's). The comparison is written as JSON to the
 //! `--out` path.
 
-use bdhtm_core::obs::{JsonValue, METRICS_SCHEMA, METRICS_VERSION};
+use bdhtm_core::obs::{JsonValue, METRICS_SCHEMA, METRICS_SERIES_SCHEMA, METRICS_VERSION};
 
 fn fail(msg: &str) -> ! {
     eprintln!("metrics_check: {msg}");
@@ -79,14 +92,22 @@ fn load_and_check(path: &str) -> (JsonValue, Vec<String>) {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
     let doc = JsonValue::parse(&text).unwrap_or_else(|e| fail(&format!("invalid JSON: {e}")));
+    let summary = check_report(&doc);
+    (doc, summary)
+}
 
+/// Runs every invariant check on an already-parsed report document
+/// (a standalone `--metrics-json` file, or one embedded `delta` of a
+/// series line). Returns the summary fragments.
+fn check_report(doc: &JsonValue) -> Vec<String> {
     // Schema header.
-    if req(&doc, "schema").as_str() != Some(METRICS_SCHEMA) {
+    if req(doc, "schema").as_str() != Some(METRICS_SCHEMA) {
         fail(&format!("schema is not {METRICS_SCHEMA:?}"));
     }
-    // v2 only *added* fields (runtime-fault counters, derived.health),
-    // so this checker accepts every version back to 1.
-    let version = req_u64(&doc, "version");
+    // v2 and v3 only *added* fields (runtime-fault counters and
+    // durability-lag telemetry respectively), so this checker accepts
+    // every version back to 1.
+    let version = req_u64(doc, "version");
     if !(1..=METRICS_VERSION).contains(&version) {
         fail(&format!(
             "version {version} outside supported 1..={METRICS_VERSION}"
@@ -132,20 +153,150 @@ fn load_and_check(path: &str) -> (JsonValue, Vec<String>) {
             ));
         }
         summary.push(format!("frontier_lag={lag}"));
+        // v3 lag gauges: quantiles monotone, consistent with the
+        // durability_lag_ns histogram when both are present.
+        if version >= 3 {
+            let p50 = req_u64(d, "durability_lag_p50");
+            let p99 = req_u64(d, "durability_lag_p99");
+            let max = req_u64(d, "durability_lag_max");
+            if !(p50 <= p99 && p99 <= max) {
+                fail(&format!(
+                    "derived incoherent: durability lag quantiles not monotone \
+                     (p50={p50} p99={p99} max={max})"
+                ));
+            }
+            let _ = req_u64(d, "lag_spans_dropped");
+            let _ = req_u64(d, "flight_events_dropped");
+            summary.push(format!("lag_p99={p99}ns"));
+        }
     }
 
     // Histograms: monotone quantiles, bucket counts sum to count.
-    match req(&doc, "histograms") {
+    match req(doc, "histograms") {
         JsonValue::Obj(members) => {
             for (name, h) in members {
                 check_hist(name, h);
+            }
+            if doc.get("derived").is_some()
+                && req_u64(doc, "version") >= 3
+                && !members.iter().any(|(n, _)| n == "durability_lag_ns")
+            {
+                fail("v3 report with an epoch system lacks durability_lag_ns");
             }
             summary.push(format!("{} histograms", members.len()));
         }
         _ => fail("histograms is not an object"),
     }
 
-    (doc, summary)
+    summary
+}
+
+/// The `--series` gate: validates a sampler JSON-lines stream.
+fn check_series(path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let mut prev_t = 0u64;
+    let mut n = 0u64;
+    for (i, line) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        let doc = JsonValue::parse(line)
+            .unwrap_or_else(|e| fail(&format!("line {}: invalid JSON: {e}", i + 1)));
+        if req(&doc, "schema").as_str() != Some(METRICS_SERIES_SCHEMA) {
+            fail(&format!(
+                "line {}: schema is not {METRICS_SERIES_SCHEMA:?}",
+                i + 1
+            ));
+        }
+        let version = req_u64(&doc, "version");
+        if !(1..=METRICS_VERSION).contains(&version) {
+            fail(&format!(
+                "line {}: version {version} outside supported 1..={METRICS_VERSION}",
+                i + 1
+            ));
+        }
+        let seq = req_u64(&doc, "seq");
+        if seq != i as u64 {
+            fail(&format!(
+                "line {}: seq {seq} not dense (expected {i})",
+                i + 1
+            ));
+        }
+        let t = req_u64(&doc, "t_ns");
+        if t < prev_t {
+            fail(&format!(
+                "line {}: t_ns {t} goes backwards (previous {prev_t})",
+                i + 1
+            ));
+        }
+        prev_t = t;
+        check_report(req(&doc, "delta"));
+        n += 1;
+    }
+    if n == 0 {
+        fail("series is empty: a run must emit at least its final flush sample");
+    }
+    println!(
+        "metrics_check: series OK ({n} samples over {:.1} ms)",
+        prev_t as f64 / 1e6
+    );
+}
+
+/// The `--trace` gate: validates a Chrome trace_event export.
+fn check_trace(path: &str) {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc = JsonValue::parse(&text).unwrap_or_else(|e| fail(&format!("invalid JSON: {e}")));
+    let events = req(&doc, "traceEvents")
+        .as_arr()
+        .unwrap_or_else(|| fail("traceEvents is not an array"));
+    if events.is_empty() {
+        fail("trace has no events");
+    }
+    let mut spans = 0u64;
+    let mut instants = 0u64;
+    let mut flow_starts = 0u64;
+    let mut flow_finishes = 0u64;
+    for (i, e) in events.iter().enumerate() {
+        let ph = req(e, "ph")
+            .as_str()
+            .unwrap_or_else(|| fail(&format!("event {i}: ph is not a string")));
+        match ph {
+            "X" => {
+                spans += 1;
+                if req(e, "dur").as_f64().is_none() {
+                    fail(&format!("event {i}: complete span without a duration"));
+                }
+            }
+            "i" => instants += 1,
+            "s" => flow_starts += 1,
+            "f" => flow_finishes += 1,
+            "M" => {
+                if req(e, "args")
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .is_none()
+                {
+                    fail(&format!("event {i}: metadata record without a name"));
+                }
+                continue; // metadata carries no timestamp
+            }
+            other => fail(&format!("event {i}: unknown phase {other:?}")),
+        }
+        if req(e, "ts").as_f64().is_none() {
+            fail(&format!("event {i}: missing timestamp"));
+        }
+        let _ = req(e, "tid");
+    }
+    if flow_starts != flow_finishes {
+        fail(&format!(
+            "durability-lag arrows unbalanced: {flow_starts} starts, {flow_finishes} finishes"
+        ));
+    }
+    let meta = req(&doc, "metadata");
+    let dropped = req_u64(meta, "events_dropped");
+    println!(
+        "metrics_check: trace OK ({spans} spans, {instants} instants, \
+         {flow_starts} lag arrows, {dropped} events dropped)"
+    );
 }
 
 /// Pulls `histograms.<name>.<field>` out of a validated report.
@@ -213,6 +364,20 @@ fn compare_pipeline(sync_path: &str, pipe_path: &str, out: Option<&str>) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match (args.first().map(String::as_str), args.get(1)) {
+        (Some("--series"), Some(path)) => {
+            check_series(path);
+            return;
+        }
+        (Some("--trace"), Some(path)) => {
+            check_trace(path);
+            return;
+        }
+        (Some("--series" | "--trace"), None) => {
+            fail("usage: metrics_check --series <series.jsonl> | --trace <trace.json>");
+        }
+        _ => {}
+    }
     if args.first().map(String::as_str) == Some("--compare-pipeline") {
         let mut rest = args[1..].iter();
         let sync_path = rest.next();
@@ -231,7 +396,10 @@ fn main() {
         return;
     }
     let Some(path) = args.first() else {
-        fail("usage: metrics_check <report.json> | metrics_check --compare-pipeline ...");
+        fail(
+            "usage: metrics_check <report.json> | --series <s.jsonl> | --trace <t.json> \
+             | --compare-pipeline ...",
+        );
     };
     let (_, summary) = load_and_check(path);
     println!("metrics_check: OK ({})", summary.join(", "));

@@ -1,0 +1,140 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every figure/table binary accepts the same observability flags, with
+//! identical spellings and semantics, by routing its argv through
+//! [`CommonArgs::parse`]:
+//!
+//! * `--metrics-json <path>` — end-of-run [`MetricsReport`] as one JSON
+//!   document (schema `bdhtm-metrics`, see DESIGN.md §6).
+//! * `--metrics-series <path>` — background [`Sampler`] stream: one
+//!   JSON object per line, each a delta report for one interval
+//!   (schema `bdhtm-metrics-series`).
+//! * `--series-interval-ms <n>` — sampling interval (default 50 ms).
+//! * `--trace-out <path>` — Chrome `trace_event` / Perfetto export of
+//!   the flight recorder, written at the end of the run.
+//!
+//! Both `--flag value` and `--flag=value` are accepted. Flags the
+//! harness does not own are passed through in [`CommonArgs::rest`] for
+//! the binary's own parsing, so experiment-specific options keep
+//! working unchanged.
+//!
+//! [`MetricsReport`]: bdhtm_core::MetricsReport
+//! [`Sampler`]: bdhtm_core::Sampler
+
+/// The observability flags common to all experiment binaries, plus the
+/// arguments they did not consume.
+#[derive(Debug, Default, Clone)]
+pub struct CommonArgs {
+    /// `--metrics-json`: end-of-run report path.
+    pub metrics_json: Option<String>,
+    /// `--metrics-series`: JSON-lines time-series path.
+    pub metrics_series: Option<String>,
+    /// `--series-interval-ms`: sampling interval (default 50).
+    pub series_interval_ms: u64,
+    /// `--trace-out`: Perfetto trace path.
+    pub trace_out: Option<String>,
+    /// Everything else, in order, for the binary's own parser.
+    pub rest: Vec<String>,
+}
+
+impl CommonArgs {
+    /// Parses the process arguments (exits with status 2 and a usage
+    /// message on a malformed common flag).
+    pub fn parse() -> CommonArgs {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// [`parse`](Self::parse) over an explicit argument list.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> CommonArgs {
+        let mut out = CommonArgs {
+            series_interval_ms: 50,
+            ..CommonArgs::default()
+        };
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            let mut take = |flag: &str| -> Option<String> {
+                if a == flag {
+                    match args.next() {
+                        Some(v) => Some(v),
+                        None => die(&format!("{flag} requires a value")),
+                    }
+                } else {
+                    a.strip_prefix(flag)
+                        .and_then(|r| r.strip_prefix('='))
+                        .map(str::to_string)
+                }
+            };
+            if let Some(v) = take("--metrics-json") {
+                out.metrics_json = Some(v);
+            } else if let Some(v) = take("--metrics-series") {
+                out.metrics_series = Some(v);
+            } else if let Some(v) = take("--series-interval-ms") {
+                out.series_interval_ms = match v.parse() {
+                    Ok(ms) => ms,
+                    Err(_) => die(&format!("--series-interval-ms: not a number: {v}")),
+                };
+            } else if let Some(v) = take("--trace-out") {
+                out.trace_out = Some(v);
+            } else {
+                out.rest.push(a);
+            }
+        }
+        out
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "common flags: --metrics-json <path> --metrics-series <path> \
+         --series-interval-ms <n> --trace-out <path>"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> CommonArgs {
+        CommonArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn both_spellings_and_rest_passthrough() {
+        let a = parse(&[
+            "--threads",
+            "4",
+            "--metrics-json",
+            "m.json",
+            "--metrics-series=s.jsonl",
+            "--series-interval-ms=10",
+            "--trace-out",
+            "t.json",
+            "--check",
+        ]);
+        assert_eq!(a.metrics_json.as_deref(), Some("m.json"));
+        assert_eq!(a.metrics_series.as_deref(), Some("s.jsonl"));
+        assert_eq!(a.series_interval_ms, 10);
+        assert_eq!(a.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(a.rest, vec!["--threads", "4", "--check"]);
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert!(a.metrics_json.is_none());
+        assert!(a.metrics_series.is_none());
+        assert!(a.trace_out.is_none());
+        assert_eq!(a.series_interval_ms, 50);
+        assert!(a.rest.is_empty());
+    }
+
+    #[test]
+    fn equals_spelling_does_not_eat_prefixed_flags() {
+        // `--metrics-json-foo` is NOT the common flag; it must pass through.
+        let a = parse(&["--metrics-json-foo", "x"]);
+        assert!(a.metrics_json.is_none());
+        assert_eq!(a.rest, vec!["--metrics-json-foo", "x"]);
+    }
+}

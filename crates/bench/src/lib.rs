@@ -16,10 +16,14 @@
 //!   reduced by this amount from the paper's (default 6, i.e. 2^26 →
 //!   2^20) so runs finish on laptop-class containers.
 
+use std::io::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use ycsb_gen::{Op, OpKind, Rng64, Workload};
+
+pub mod cli;
+pub use cli::CommonArgs;
 
 /// Seconds per throughput data point.
 pub fn secs_per_point() -> f64 {
@@ -102,49 +106,88 @@ pub fn throughput(backend: Arc<dyn KvBackend>, workload: &Workload, threads: usi
     ops.load(Ordering::Relaxed) as f64 / t0.elapsed().as_secs_f64() / 1e6
 }
 
-/// Shared `--metrics-json <path>` handling for the figure binaries.
+/// Shared observability-output handling for the figure binaries (see
+/// [`cli::CommonArgs`] for the flags).
 ///
 /// Every experiment binary constructs one sink from its argv, attaches
 /// the substrate objects of the configuration it wants captured (by
 /// convention the *last* configuration it builds, i.e. the final series
 /// of the figure), and calls [`MetricsSink::write`] before exiting.
-/// When the flag is absent the sink is inert and costs nothing.
+/// When no flag is present the sink is inert and costs nothing.
 ///
-/// Accepted spellings: `--metrics-json <path>` and
-/// `--metrics-json=<path>`.
+/// With `--metrics-series`, a background [`Sampler`](bdhtm_core::Sampler)
+/// streams delta reports as JSON-lines while the run executes. Each
+/// `attach_*` call restarts the sampler over the enlarged registry, so
+/// the stream always covers every attached source; the line sequence
+/// number and timestamp origin are shared across restarts, keeping the
+/// stream monotone. With `--trace-out`, [`write`](Self::write) exports
+/// the attached epoch system's flight recorder as a Perfetto trace.
 #[derive(Default)]
 pub struct MetricsSink {
-    path: Option<String>,
+    metrics_json: Option<String>,
+    trace_out: Option<String>,
     registry: bdhtm_core::MetricsRegistry,
+    esys: Option<Arc<bdhtm_core::EpochSys>>,
+    series: Option<SeriesStream>,
+    sampler: Option<bdhtm_core::Sampler>,
+}
+
+/// The `--metrics-series` output state shared across sampler restarts.
+struct SeriesStream {
+    path: String,
+    file: Arc<Mutex<std::fs::File>>,
+    seq: Arc<AtomicU64>,
+    origin: Instant,
+    interval: Duration,
 }
 
 impl MetricsSink {
     /// Builds a sink from the process arguments.
     pub fn from_args() -> MetricsSink {
-        let mut path = None;
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            if a == "--metrics-json" {
-                path = args.next();
-            } else if let Some(p) = a.strip_prefix("--metrics-json=") {
-                path = Some(p.to_string());
+        Self::from_common(&CommonArgs::parse())
+    }
+
+    /// Builds a sink from already-parsed [`CommonArgs`] (for binaries
+    /// that also consume [`CommonArgs::rest`]).
+    pub fn from_common(args: &CommonArgs) -> MetricsSink {
+        let series = args.metrics_series.as_ref().map(|path| {
+            let file = match std::fs::File::create(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("error: cannot create metrics series {path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            SeriesStream {
+                path: path.clone(),
+                file: Arc::new(Mutex::new(file)),
+                seq: Arc::new(AtomicU64::new(0)),
+                origin: Instant::now(),
+                interval: Duration::from_millis(args.series_interval_ms.max(1)),
             }
-        }
+        });
         MetricsSink {
-            path,
+            metrics_json: args.metrics_json.clone(),
+            trace_out: args.trace_out.clone(),
             registry: bdhtm_core::MetricsRegistry::new(),
+            esys: None,
+            series,
+            sampler: None,
         }
     }
 
-    /// True when `--metrics-json` was passed.
+    /// True when any observability output was requested.
     pub fn enabled(&self) -> bool {
-        self.path.is_some()
+        self.metrics_json.is_some() || self.trace_out.is_some() || self.series.is_some()
     }
 
-    /// Attaches the epoch system whose stats the report should capture.
+    /// Attaches the epoch system whose stats the report should capture
+    /// (and whose flight recorder `--trace-out` exports).
     pub fn attach_esys(&mut self, esys: &Arc<bdhtm_core::EpochSys>) {
         if self.enabled() {
             self.registry.attach_esys(Arc::clone(esys));
+            self.esys = Some(Arc::clone(esys));
+            self.restart_sampler();
         }
     }
 
@@ -152,6 +195,7 @@ impl MetricsSink {
     pub fn attach_htm(&mut self, htm: &Arc<htm_sim::Htm>) {
         if self.enabled() {
             self.registry.attach_htm(Arc::clone(htm));
+            self.restart_sampler();
         }
     }
 
@@ -159,19 +203,70 @@ impl MetricsSink {
     pub fn attach_heap(&mut self, heap: &Arc<nvm_sim::NvmHeap>) {
         if self.enabled() {
             self.registry.attach_heap(Arc::clone(heap));
+            self.restart_sampler();
         }
     }
 
-    /// Snapshots the attached sources and writes the JSON report. Call
-    /// once, at the end of the run. No-op without `--metrics-json`.
-    pub fn write(&self) {
-        let Some(path) = &self.path else { return };
-        let json = self.registry.report().to_json();
-        match std::fs::write(path, &json) {
-            Ok(()) => eprintln!("metrics written to {path}"),
-            Err(e) => {
-                eprintln!("error: cannot write metrics to {path}: {e}");
+    /// (Re)starts the series sampler over the current registry. The
+    /// closure ignores the sampler's own timestamp/sequence and uses the
+    /// stream's shared origin and counter, so a stream spanning several
+    /// sampler generations stays monotone with dense sequence numbers.
+    fn restart_sampler(&mut self) {
+        let Some(series) = &self.series else { return };
+        if let Some(old) = self.sampler.take() {
+            old.stop();
+        }
+        let file = Arc::clone(&series.file);
+        let seq = Arc::clone(&series.seq);
+        let origin = series.origin;
+        self.sampler = Some(bdhtm_core::Sampler::spawn(
+            self.registry.clone(),
+            series.interval,
+            move |_, _, delta| {
+                let t_ns = origin.elapsed().as_nanos() as u64;
+                let n = seq.fetch_add(1, Ordering::Relaxed);
+                let line = bdhtm_core::series_line(t_ns, n, delta);
+                let mut f = file.lock().unwrap();
+                if writeln!(f, "{line}").is_err() {
+                    // Keep running: a full disk should not kill the bench.
+                }
+            },
+        ));
+    }
+
+    /// Snapshots the attached sources and writes every requested
+    /// output: stops the series sampler (flushing its final sample),
+    /// writes the `--metrics-json` report, and exports the
+    /// `--trace-out` Perfetto trace. Call once, at the end of the run.
+    pub fn write(&mut self) {
+        if let Some(sampler) = self.sampler.take() {
+            sampler.stop();
+        }
+        if let Some(series) = &self.series {
+            eprintln!("metrics series written to {}", series.path);
+        }
+        if let Some(path) = &self.metrics_json {
+            let json = self.registry.report().to_json();
+            match std::fs::write(path, &json) {
+                Ok(()) => eprintln!("metrics written to {path}"),
+                Err(e) => {
+                    eprintln!("error: cannot write metrics to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = &self.trace_out {
+            let Some(esys) = &self.esys else {
+                eprintln!("error: --trace-out needs an epoch system attached; no trace written");
                 std::process::exit(1);
+            };
+            let json = bdhtm_core::trace::chrome_trace_from_obs(esys.obs());
+            match std::fs::write(path, &json) {
+                Ok(()) => eprintln!("trace written to {path}"),
+                Err(e) => {
+                    eprintln!("error: cannot write trace to {path}: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }
@@ -179,20 +274,22 @@ impl MetricsSink {
 
 /// Prints a series row: `label  v1  v2  v3 ...`.
 pub fn row(label: &str, values: &[f64]) {
-    print!("{label:<28}");
+    let mut out = std::io::stdout().lock();
+    let _ = write!(out, "{label:<28}");
     for v in values {
-        print!(" {v:>9.3}");
+        let _ = write!(out, " {v:>9.3}");
     }
-    println!();
+    let _ = writeln!(out);
 }
 
 /// Prints the thread-count header matching [`row`].
 pub fn header(first: &str, threads: &[usize]) {
-    print!("{first:<28}");
+    let mut out = std::io::stdout().lock();
+    let _ = write!(out, "{first:<28}");
     for t in threads {
-        print!(" {:>8}T", t);
+        let _ = write!(out, " {:>8}T", t);
     }
-    println!();
+    let _ = writeln!(out);
 }
 
 // ---------------------------------------------------------------------

@@ -54,6 +54,12 @@ pub struct EpochConfig {
     /// Escalation ceiling of an attached watchdog: consecutive firings
     /// escalate log → degrade → fail-stop, capped at this policy.
     pub watchdog_policy: WatchdogPolicy,
+    /// Flight-recorder capacity, events per thread. The default
+    /// ([`RING_SLOTS`](crate::obs::RING_SLOTS)) suits postmortem dumps;
+    /// trace-export runs (`--trace-out`) raise it so the exported
+    /// timeline covers the whole measured window instead of its last
+    /// instants. Values below 1 behave as 1.
+    pub flight_slots: usize,
 }
 
 impl Default for EpochConfig {
@@ -68,6 +74,7 @@ impl Default for EpochConfig {
             persist_backoff_spins: 64,
             watchdog_period: Duration::from_millis(100),
             watchdog_policy: WatchdogPolicy::Degrade,
+            flight_slots: crate::obs::RING_SLOTS,
         }
     }
 }
@@ -138,6 +145,13 @@ impl EpochConfig {
     /// [`EpochConfig::watchdog_policy`]).
     pub fn with_watchdog_policy(mut self, policy: WatchdogPolicy) -> Self {
         self.watchdog_policy = policy;
+        self
+    }
+
+    /// Sets the flight-recorder capacity in events per thread (see
+    /// [`EpochConfig::flight_slots`]).
+    pub fn with_flight_slots(mut self, slots: usize) -> Self {
+        self.flight_slots = slots;
         self
     }
 }

@@ -113,6 +113,7 @@ impl EpochSys {
         frontier: u64,
         disabled: bool,
     ) -> EpochSys {
+        let obs = Obs::with_flight_slots(config.flight_slots);
         EpochSys {
             heap,
             alloc,
@@ -125,7 +126,7 @@ impl EpochSys {
             disabled,
             config,
             stats: EpochStats::default(),
-            obs: Obs::new(),
+            obs,
             faults: FaultInjector::new(),
             health: AtomicU8::new(HealthState::Ok as u8),
             last_persist_error: StdMutex::new(None),

@@ -312,6 +312,15 @@ impl EpochSys {
     /// events, and release the pipeline slot.
     fn complete_batch(&self, batch: EpochBatch, words: u64, t0: std::time::Instant) {
         let r = batch.epoch;
+        // Fold commit→durable spans for epoch r *before* the frontier
+        // mirror moves: a committer that later observes frontier ≥ r
+        // can then safely recycle r's lag slot as already-folded. Every
+        // epoch-r commit happens-before this point (commit → Release
+        // deregister → SeqCst straggler scan → seal → pipeline mutex),
+        // and this runs on the pipelined, synchronous, and Degraded
+        // inline-drain paths alike, so lag is attributed uniformly
+        // across persist modes.
+        self.obs().fold_epoch_lag(r);
         self.clock.publish_frontier(r);
 
         // Reclaim retired blocks — their deletion records are durable,

@@ -85,7 +85,9 @@ mod kv;
 pub mod obs;
 mod op;
 mod recovery;
+mod sampler;
 mod ticker;
+pub mod trace;
 pub mod watchdog;
 
 pub use config::EpochConfig;
@@ -96,10 +98,12 @@ pub use esys::{
 };
 pub use kv::{BdlKv, KV_UNIVERSE_BITS};
 pub use obs::{
-    EventKind, FlightEvent, FlightRecorder, JsonValue, MetricsRegistry, MetricsReport, Obs,
+    series_line, EventKind, FlightEvent, FlightRecorder, JsonValue, MetricsRegistry, MetricsReport,
+    Obs, METRICS_SCHEMA, METRICS_SERIES_SCHEMA, METRICS_VERSION,
 };
 pub use op::{run_op, CommitEffects, OpGuard, OpStep, RestartFn};
 pub use persist_alloc::INVALID_EPOCH;
 pub use recovery::LiveBlock;
+pub use sampler::Sampler;
 pub use ticker::{EpochTicker, Persister};
 pub use watchdog::{Watchdog, WatchdogPolicy};

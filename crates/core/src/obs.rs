@@ -33,9 +33,12 @@ use std::time::Instant;
 // Flight recorder
 // ---------------------------------------------------------------------------
 
-/// Events per thread kept by the flight recorder. Small on purpose: the
-/// recorder answers "what were the last few things each thread did
-/// before the failure", not "give me a full trace".
+/// Default events per thread kept by the flight recorder. Small on
+/// purpose: the postmortem recorder answers "what were the last few
+/// things each thread did before the failure", not "give me a full
+/// trace". Trace-export runs raise the capacity via
+/// [`EpochConfig::flight_slots`](crate::EpochConfig::flight_slots) so
+/// the exported timeline covers more than the final instants.
 pub const RING_SLOTS: usize = 64;
 
 /// Lifecycle event vocabulary (see DESIGN.md §6 for payload meanings).
@@ -122,23 +125,34 @@ struct Slot {
 }
 
 struct Ring {
-    slots: [Slot; RING_SLOTS],
-    /// Events this thread has written (owner-only counter).
+    slots: Box<[Slot]>,
+    /// Events this thread has written (owner-only counter). Never
+    /// wraps back: `next − slots.len()` is exactly how many events the
+    /// ring has silently overwritten (the `events_dropped` gauge).
     next: AtomicU64,
 }
 
 impl Ring {
-    fn new() -> Self {
+    fn new(capacity: usize) -> Self {
         Ring {
-            slots: std::array::from_fn(|_| Slot {
-                seq: AtomicU64::new(0),
-                t_ns: AtomicU64::new(0),
-                kind: AtomicU64::new(0),
-                a: AtomicU64::new(0),
-                b: AtomicU64::new(0),
-            }),
+            slots: (0..capacity.max(1))
+                .map(|_| Slot {
+                    seq: AtomicU64::new(0),
+                    t_ns: AtomicU64::new(0),
+                    kind: AtomicU64::new(0),
+                    a: AtomicU64::new(0),
+                    b: AtomicU64::new(0),
+                })
+                .collect(),
             next: AtomicU64::new(0),
         }
+    }
+
+    /// Events overwritten by ring wrap so far.
+    fn dropped(&self) -> u64 {
+        self.next
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.slots.len() as u64)
     }
 }
 
@@ -235,6 +249,7 @@ impl FlightEvent {
 /// the crash unwound.
 pub struct FlightRecorder {
     origin: Instant,
+    capacity: usize,
     rings: Box<[OnceLock<Box<Ring>>]>,
 }
 
@@ -246,8 +261,16 @@ impl Default for FlightRecorder {
 
 impl FlightRecorder {
     pub fn new() -> Self {
+        Self::with_slots(Instant::now(), RING_SLOTS)
+    }
+
+    /// A recorder with `capacity` slots per thread whose event
+    /// timestamps count from `origin` (shared with the durability-lag
+    /// tracker so exported traces and lag spans line up).
+    pub(crate) fn with_slots(origin: Instant, capacity: usize) -> Self {
         FlightRecorder {
-            origin: Instant::now(),
+            origin,
+            capacity: capacity.max(1),
             rings: (0..max_threads()).map(|_| OnceLock::new()).collect(),
         }
     }
@@ -255,16 +278,34 @@ impl FlightRecorder {
     /// Records one event on the calling thread.
     #[inline]
     pub fn record(&self, kind: EventKind, a: u64, b: u64) {
-        let t_ns = self.origin.elapsed().as_nanos() as u64;
-        let ring = self.rings[thread_id()].get_or_init(|| Box::new(Ring::new()));
+        self.record_at(self.origin.elapsed().as_nanos() as u64, kind, a, b);
+    }
+
+    /// Records one event with a caller-supplied timestamp (nanoseconds
+    /// since the recorder's origin) so one `Instant::now()` can serve
+    /// both this event and another timeline (the lag tracker).
+    #[inline]
+    pub(crate) fn record_at(&self, t_ns: u64, kind: EventKind, a: u64, b: u64) {
+        let ring = self.rings[thread_id()].get_or_init(|| Box::new(Ring::new(self.capacity)));
         let n = ring.next.load(Ordering::Relaxed);
-        let slot = &ring.slots[(n % RING_SLOTS as u64) as usize];
+        let slot = &ring.slots[(n % ring.slots.len() as u64) as usize];
         slot.t_ns.store(t_ns, Ordering::Relaxed);
         slot.kind.store(kind as u64, Ordering::Relaxed);
         slot.a.store(a, Ordering::Relaxed);
         slot.b.store(b, Ordering::Relaxed);
         slot.seq.store(n + 1, Ordering::Release);
         ring.next.store(n + 1, Ordering::Relaxed);
+    }
+
+    /// Total events silently overwritten by ring wrap, summed across
+    /// threads. A non-zero value means [`dump`](Self::dump) (and any
+    /// trace exported from it) is missing that many older events.
+    pub fn events_dropped(&self) -> u64 {
+        self.rings
+            .iter()
+            .filter_map(|slot| slot.get())
+            .map(|ring| ring.dropped())
+            .sum()
     }
 
     /// The last `max` events across all threads, oldest first, merged
@@ -298,20 +339,181 @@ impl FlightRecorder {
 }
 
 // ---------------------------------------------------------------------------
+// Durability-lag tracker
+// ---------------------------------------------------------------------------
+
+/// Epoch generations a lag shard distinguishes. Must exceed the worst
+/// frontier lag of a healthy system (`pipeline_depth + 2`, default 4)
+/// so a slot is never reused before its epoch publishes; reuse beyond
+/// that (deep Degraded stalls, a FailStop-pinned frontier) is detected
+/// by the epoch tag and counted as dropped spans, never mis-folded.
+const LAG_GENS: usize = 8;
+
+/// Commit timestamps kept verbatim per thread per epoch; commits beyond
+/// this fold through the overflow aggregate at their mean commit time.
+const LAG_SAMPLES: usize = 512;
+
+/// Lag-slot epoch tag meaning "never used".
+const LAG_EMPTY: u64 = u64::MAX;
+
+/// One epoch's commit timestamps for one thread. The owning thread is
+/// the only writer; the publisher (whoever runs `complete_batch` for
+/// this epoch) only reads. All fields are atomics so the one
+/// pathological race — an owner recycling the slot for epoch
+/// `e + LAG_GENS` while the publisher still folds epoch `e` — is a
+/// coherence question, not UB; the tag double-check below bounds the
+/// damage to miscounting a handful of spans in an already-failed run.
+struct LagSlot {
+    /// The epoch whose commits this slot holds ([`LAG_EMPTY`] = unused).
+    epoch: AtomicU64,
+    /// Samples stored in `samples` (owner-only; capped at
+    /// [`LAG_SAMPLES`]).
+    len: AtomicU64,
+    /// Commits beyond the sample capacity, and the sum of their commit
+    /// times in µs-granules (`t_ns >> 10`, so ~10⁹ overflow commits of
+    /// multi-hour timestamps still fit a u64).
+    overflow_count: AtomicU64,
+    overflow_sum_us: AtomicU64,
+    /// Commit times, nanoseconds since the [`Obs`] origin.
+    samples: Box<[AtomicU64]>,
+}
+
+impl LagSlot {
+    fn new() -> Self {
+        LagSlot {
+            epoch: AtomicU64::new(LAG_EMPTY),
+            len: AtomicU64::new(0),
+            overflow_count: AtomicU64::new(0),
+            overflow_sum_us: AtomicU64::new(0),
+            samples: (0..LAG_SAMPLES).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+struct LagShard {
+    slots: [LagSlot; LAG_GENS],
+}
+
+/// Per-op commit→durable span collection: each committing thread stamps
+/// its commit time into the slot of its op's epoch; when that epoch's
+/// batch publishes the frontier, `complete_batch` folds
+/// `t_publish − t_commit` for every stamped commit into the
+/// `durability_lag_ns` histogram.
+///
+/// Why the publisher may read the owner's relaxed stores: every commit
+/// in epoch `r` happens-before the seal of `r` (the op's Release
+/// deregister is observed by the sealer's SeqCst straggler scan),
+/// which happens-before the publish (batch hand-off through the
+/// pipeline mutex). Slot *reuse* is the only access outside that
+/// ordering, and the epoch tag guards it.
+pub(crate) struct LagTracker {
+    shards: Box<[OnceLock<Box<LagShard>>]>,
+    /// Spans whose epoch was recycled before it ever published
+    /// (frontier pinned by FailStop, or lag beyond [`LAG_GENS`]). These
+    /// ops committed but their durability was never observed — counting
+    /// them as zero or infinite lag would both lie, so they are counted
+    /// here and surfaced as `derived.lag_spans_dropped`.
+    dropped: AtomicU64,
+}
+
+impl LagTracker {
+    fn new() -> Self {
+        LagTracker {
+            shards: (0..max_threads()).map(|_| OnceLock::new()).collect(),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Stamps one commit at `t_ns` for `epoch` on the calling thread.
+    /// `frontier` is the durable frontier at the time of the call; it
+    /// decides whether a recycled slot's old spans were published
+    /// (already folded) or lost (count as dropped).
+    #[inline]
+    fn record_commit(&self, epoch: u64, t_ns: u64, frontier: u64) {
+        let shard = self.shards[thread_id()].get_or_init(|| {
+            Box::new(LagShard {
+                slots: std::array::from_fn(|_| LagSlot::new()),
+            })
+        });
+        let slot = &shard.slots[(epoch % LAG_GENS as u64) as usize];
+        let tag = slot.epoch.load(Ordering::Relaxed);
+        if tag != epoch {
+            if tag != LAG_EMPTY && tag > frontier {
+                let lost =
+                    slot.len.load(Ordering::Relaxed) + slot.overflow_count.load(Ordering::Relaxed);
+                self.dropped.fetch_add(lost, Ordering::Relaxed);
+            }
+            slot.len.store(0, Ordering::Relaxed);
+            slot.overflow_count.store(0, Ordering::Relaxed);
+            slot.overflow_sum_us.store(0, Ordering::Relaxed);
+            // Release: a publisher that acquires the new tag must also
+            // see the cleared counters, not the old epoch's.
+            slot.epoch.store(epoch, Ordering::Release);
+        }
+        let n = slot.len.load(Ordering::Relaxed);
+        if (n as usize) < LAG_SAMPLES {
+            slot.samples[n as usize].store(t_ns, Ordering::Relaxed);
+            // Release pairs with the publisher's Acquire len read: a
+            // sample is visible once the length covering it is.
+            slot.len.store(n + 1, Ordering::Release);
+        } else {
+            slot.overflow_count.fetch_add(1, Ordering::Relaxed);
+            slot.overflow_sum_us
+                .fetch_add(t_ns >> 10, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds every thread's spans for `epoch` into `hist` as
+    /// `now_ns − t_commit`. Called by `complete_batch` with the publish
+    /// timestamp, before the frontier mirror moves. Returns the number
+    /// of spans folded.
+    fn fold_epoch(&self, epoch: u64, now_ns: u64, hist: &LogHistogram) -> u64 {
+        let mut folded = 0u64;
+        for shard in self.shards.iter().filter_map(|s| s.get()) {
+            let slot = &shard.slots[(epoch % LAG_GENS as u64) as usize];
+            if slot.epoch.load(Ordering::Acquire) != epoch {
+                continue;
+            }
+            let n = (slot.len.load(Ordering::Acquire) as usize).min(LAG_SAMPLES);
+            for sample in &slot.samples[..n] {
+                hist.record(now_ns.saturating_sub(sample.load(Ordering::Relaxed)));
+            }
+            let oc = slot.overflow_count.load(Ordering::Relaxed);
+            if let Some(mean_us) = slot.overflow_sum_us.load(Ordering::Relaxed).checked_div(oc) {
+                hist.record_n(now_ns.saturating_sub(mean_us << 10), oc);
+            }
+            folded += n as u64 + oc;
+        }
+        folded
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Per-EpochSys instrumentation bundle
 // ---------------------------------------------------------------------------
 
 /// Instrumentation carried by every [`EpochSys`]: latency/size
-/// histograms and the flight recorder. All four `BdlKv` structures
-/// inherit it through `run_op`; the epoch ticker and backpressure path
-/// feed it from inside the epoch system itself.
+/// histograms, the durability-lag tracker, and the flight recorder. All
+/// four `BdlKv` structures inherit it through `run_op`; the epoch
+/// ticker, persist pipeline, and backpressure path feed it from inside
+/// the epoch system itself. The recorder and the lag tracker share one
+/// `origin` instant, so flight-event timestamps and lag spans live on
+/// the same timeline (what makes the exported trace's lag arrows line
+/// up with the op tracks).
 pub struct Obs {
+    origin: Instant,
     recorder: FlightRecorder,
+    lag: LagTracker,
     pub(crate) op_latency_ns: LogHistogram,
     pub(crate) op_restarts: LogHistogram,
     pub(crate) advance_ns: LogHistogram,
     pub(crate) persist_batch_blocks: LogHistogram,
     pub(crate) batch_persist_ns: LogHistogram,
+    pub(crate) durability_lag_ns: LogHistogram,
 }
 
 impl Default for Obs {
@@ -322,13 +524,23 @@ impl Default for Obs {
 
 impl Obs {
     pub fn new() -> Self {
+        Self::with_flight_slots(RING_SLOTS)
+    }
+
+    /// An `Obs` whose flight recorder keeps `flight_slots` events per
+    /// thread (see [`EpochConfig::flight_slots`](crate::EpochConfig::flight_slots)).
+    pub fn with_flight_slots(flight_slots: usize) -> Self {
+        let origin = Instant::now();
         Obs {
-            recorder: FlightRecorder::new(),
+            origin,
+            recorder: FlightRecorder::with_slots(origin, flight_slots),
+            lag: LagTracker::new(),
             op_latency_ns: LogHistogram::new(),
             op_restarts: LogHistogram::new(),
             advance_ns: LogHistogram::new(),
             persist_batch_blocks: LogHistogram::new(),
             batch_persist_ns: LogHistogram::new(),
+            durability_lag_ns: LogHistogram::new(),
         }
     }
 
@@ -338,9 +550,41 @@ impl Obs {
         self.recorder.record(kind, a, b);
     }
 
+    /// Records an op commit: the `OpCommit` flight event *and* the
+    /// durability-lag span stamp, from a single `Instant::now()` so the
+    /// two timelines agree. `frontier` is the durable frontier at call
+    /// time (recycled-slot accounting; see [`LagTracker`]).
+    #[inline]
+    pub(crate) fn commit_event(&self, epoch: u64, restarts: u64, frontier: u64) {
+        let t_ns = self.origin.elapsed().as_nanos() as u64;
+        self.recorder
+            .record_at(t_ns, EventKind::OpCommit, epoch, restarts);
+        self.lag.record_commit(epoch, t_ns, frontier);
+    }
+
+    /// Folds every commit span of `epoch` into the `durability_lag_ns`
+    /// histogram, stamped against now. Called by `complete_batch` when
+    /// the batch closing `epoch` has fully persisted.
+    pub(crate) fn fold_epoch_lag(&self, epoch: u64) -> u64 {
+        let now_ns = self.origin.elapsed().as_nanos() as u64;
+        self.lag.fold_epoch(epoch, now_ns, &self.durability_lag_ns)
+    }
+
     /// The last `max` lifecycle events across all threads.
     pub fn dump(&self, max: usize) -> Vec<FlightEvent> {
         self.recorder.dump(max)
+    }
+
+    /// Flight-recorder events lost to ring wrap across all threads.
+    pub fn flight_events_dropped(&self) -> u64 {
+        self.recorder.events_dropped()
+    }
+
+    /// Commit→durable spans that could never be folded because their
+    /// epoch's slot was recycled before the epoch published (FailStop
+    /// frontier pin or frontier lag beyond the tracker's window).
+    pub fn lag_spans_dropped(&self) -> u64 {
+        self.lag.dropped()
     }
 
     /// End-to-end `run_op` latency, nanoseconds.
@@ -369,6 +613,14 @@ impl Obs {
     pub fn batch_persist_ns(&self) -> &LogHistogram {
         &self.batch_persist_ns
     }
+
+    /// Per-op commit→durable latency, nanoseconds: the time from an
+    /// operation's commit to the frontier publish that made its epoch
+    /// durable — the buffered-durability window the paper trades
+    /// against throughput.
+    pub fn durability_lag_ns(&self) -> &LogHistogram {
+        &self.durability_lag_ns
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -387,6 +639,16 @@ pub struct DerivedGauges {
     pub buffered_words: u64,
     /// Position on the runtime health ladder (see [`HealthState`]).
     pub health: HealthState,
+    /// Commit→durable latency quantiles (ns), from `durability_lag_ns`.
+    pub durability_lag_p50: u64,
+    pub durability_lag_p99: u64,
+    pub durability_lag_max: u64,
+    /// Commit spans whose epoch never published (see
+    /// [`Obs::lag_spans_dropped`]).
+    pub lag_spans_dropped: u64,
+    /// Flight-recorder events lost to ring wrap (see
+    /// [`Obs::flight_events_dropped`]).
+    pub flight_events_dropped: u64,
 }
 
 /// A histogram snapshot with its identity in the report schema.
@@ -452,14 +714,20 @@ impl MetricsRegistry {
             alloc = Some(esys.alloc_stats());
             let current_epoch = esys.current_epoch();
             let persisted_frontier = esys.persisted_frontier();
+            let obs = esys.obs();
+            let lag = obs.durability_lag_ns.snapshot();
             derived = Some(DerivedGauges {
                 current_epoch,
                 persisted_frontier,
                 frontier_lag: current_epoch.saturating_sub(persisted_frontier),
                 buffered_words: esys.buffered_words(),
                 health: esys.health(),
+                durability_lag_p50: lag.p50(),
+                durability_lag_p99: lag.p99(),
+                durability_lag_max: lag.max,
+                lag_spans_dropped: obs.lag_spans_dropped(),
+                flight_events_dropped: obs.flight_events_dropped(),
             });
-            let obs = esys.obs();
             histograms.push(NamedHist {
                 name: "op_latency_ns",
                 unit: "ns",
@@ -484,6 +752,11 @@ impl MetricsRegistry {
                 name: "batch_persist_ns",
                 unit: "ns",
                 snap: obs.batch_persist_ns.snapshot(),
+            });
+            histograms.push(NamedHist {
+                name: "durability_lag_ns",
+                unit: "ns",
+                snap: lag,
             });
         }
         MetricsReport {
@@ -510,11 +783,18 @@ pub struct MetricsReport {
 
 /// Schema identifier emitted in every report.
 pub const METRICS_SCHEMA: &str = "bdhtm-metrics";
+/// Schema identifier of the time-series stream a
+/// [`Sampler`](crate::Sampler) emits: one JSON object per line, each
+/// wrapping a delta [`MetricsReport`] (see [`series_line`]).
+pub const METRICS_SERIES_SCHEMA: &str = "bdhtm-metrics-series";
 /// Schema version; bump when a key changes meaning or disappears.
 /// v2 added the runtime-fault counters (`epoch.persist_retries`,
-/// `epoch.degradations`, `epoch.watchdog_fires`) and `derived.health`
-/// — pure additions, so v1 consumers keep parsing.
-pub const METRICS_VERSION: u64 = 2;
+/// `epoch.degradations`, `epoch.watchdog_fires`) and `derived.health`.
+/// v3 added the `durability_lag_ns` histogram and the
+/// `derived.durability_lag_p50/p99/max`, `derived.lag_spans_dropped`,
+/// and `derived.flight_events_dropped` gauges — pure additions, so
+/// v1/v2 consumers keep parsing.
+pub const METRICS_VERSION: u64 = 3;
 
 /// Formats an `f64` as a JSON number token (never `NaN`/`inf`, which
 /// JSON forbids — non-finite values degrade to 0).
@@ -630,12 +910,20 @@ impl MetricsReport {
         if let Some(d) = &self.derived {
             s.push_str(&format!(
                 ",\"derived\":{{\"current_epoch\":{},\"persisted_frontier\":{},\
-                 \"frontier_lag\":{},\"buffered_words\":{},\"health\":\"{}\"}}",
+                 \"frontier_lag\":{},\"buffered_words\":{},\"health\":\"{}\",\
+                 \"durability_lag_p50\":{},\"durability_lag_p99\":{},\
+                 \"durability_lag_max\":{},\"lag_spans_dropped\":{},\
+                 \"flight_events_dropped\":{}}}",
                 d.current_epoch,
                 d.persisted_frontier,
                 d.frontier_lag,
                 d.buffered_words,
                 d.health.as_str(),
+                d.durability_lag_p50,
+                d.durability_lag_p99,
+                d.durability_lag_max,
+                d.lag_spans_dropped,
+                d.flight_events_dropped,
             ));
         }
         s.push_str(",\"histograms\":{");
@@ -648,6 +936,56 @@ impl MetricsReport {
         s.push_str("}}");
         s
     }
+
+    /// The delta between two reports of the same registry: monotonic
+    /// counters and histograms subtract (saturating, like the
+    /// per-source `since` methods they build on); point-in-time gauges
+    /// (`alloc`, `derived`) keep this report's values. The
+    /// [`Sampler`](crate::Sampler) emits exactly these deltas, so each
+    /// series line describes one interval instead of a growing total.
+    pub fn since(&self, earlier: &MetricsReport) -> MetricsReport {
+        MetricsReport {
+            htm: match (&self.htm, &earlier.htm) {
+                (Some(now), Some(then)) => Some(now.since(then)),
+                _ => self.htm,
+            },
+            nvm: match (&self.nvm, &earlier.nvm) {
+                (Some(now), Some(then)) => Some(now.since(then)),
+                _ => self.nvm,
+            },
+            epoch: match (&self.epoch, &earlier.epoch) {
+                (Some(now), Some(then)) => Some(now.since(then)),
+                _ => self.epoch,
+            },
+            alloc: self.alloc,
+            derived: self.derived,
+            histograms: self
+                .histograms
+                .iter()
+                .map(
+                    |h| match earlier.histograms.iter().find(|e| e.name == h.name) {
+                        Some(e) => NamedHist {
+                            name: h.name,
+                            unit: h.unit,
+                            snap: h.snap.since(&e.snap),
+                        },
+                        None => *h,
+                    },
+                )
+                .collect(),
+        }
+    }
+}
+
+/// Serializes one line of the `bdhtm-metrics-series` JSON-lines stream:
+/// the sample's timestamp (ns since the sampler started), its sequence
+/// number, and the interval's delta report.
+pub fn series_line(t_ns: u64, seq: u64, delta: &MetricsReport) -> String {
+    format!(
+        "{{\"schema\":\"{METRICS_SERIES_SCHEMA}\",\"version\":{METRICS_VERSION},\
+         \"t_ns\":{t_ns},\"seq\":{seq},\"delta\":{}}}",
+        delta.to_json()
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -942,6 +1280,55 @@ mod tests {
             b: 0,
         };
         assert!(f.render().contains("kind=clwb"));
+    }
+
+    #[test]
+    fn lag_spans_fold_into_the_histogram_on_publish() {
+        let obs = Obs::new();
+        obs.commit_event(2, 0, 0);
+        obs.commit_event(2, 1, 0);
+        obs.commit_event(3, 0, 0); // a later epoch, different slot
+        assert_eq!(obs.fold_epoch_lag(2), 2, "exactly epoch 2's spans fold");
+        let snap = obs.durability_lag_ns().snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(obs.lag_spans_dropped(), 0);
+        assert_eq!(obs.fold_epoch_lag(3), 1, "epoch 3 folds independently");
+    }
+
+    #[test]
+    fn lag_slot_recycled_before_publish_counts_dropped() {
+        let obs = Obs::new();
+        // Epoch 2 commits, never publishes (frontier stays 0), and the
+        // owner reuses the slot LAG_GENS epochs later — the span must be
+        // counted as dropped, not silently lost or mis-folded.
+        obs.commit_event(2, 0, 0);
+        obs.commit_event(2 + LAG_GENS as u64, 0, 0);
+        assert_eq!(obs.lag_spans_dropped(), 1);
+        // The recycling epoch's own span is intact.
+        assert_eq!(obs.fold_epoch_lag(2 + LAG_GENS as u64), 1);
+    }
+
+    #[test]
+    fn lag_slot_recycled_after_publish_is_not_dropped() {
+        let obs = Obs::new();
+        obs.commit_event(2, 0, 0);
+        assert_eq!(obs.fold_epoch_lag(2), 1);
+        // Frontier has passed epoch 2 by the time the slot recycles:
+        // the publisher already folded it, so nothing was dropped.
+        obs.commit_event(2 + LAG_GENS as u64, 0, 5);
+        assert_eq!(obs.lag_spans_dropped(), 0);
+    }
+
+    #[test]
+    fn lag_overflow_aggregates_beyond_the_sample_cap() {
+        let obs = Obs::new();
+        let n = LAG_SAMPLES as u64 + 100;
+        for _ in 0..n {
+            obs.commit_event(2, 0, 0);
+        }
+        assert_eq!(obs.fold_epoch_lag(2), n, "overflow commits still fold");
+        assert_eq!(obs.durability_lag_ns().snapshot().count, n);
+        assert_eq!(obs.lag_spans_dropped(), 0);
     }
 
     #[test]

@@ -200,9 +200,14 @@ impl<'a> OpGuard<'a> {
     /// result.
     pub fn finish<R>(mut self, effects: CommitEffects<R>) -> R {
         self.armed = false;
-        self.esys
-            .obs()
-            .event(EventKind::OpCommit, self.epoch, self.restarts.get());
+        // One timestamp feeds both the OpCommit flight event and the
+        // durability-lag span; the span is folded into the lag
+        // histogram when this epoch's batch publishes the frontier.
+        self.esys.obs().commit_event(
+            self.epoch,
+            self.restarts.get(),
+            self.esys.persisted_frontier(),
+        );
         if let Some(old) = effects.retire {
             self.esys.p_retire(old);
         }

@@ -185,6 +185,7 @@ pub fn sweep_pipelined<T: SweepTarget>(cfg: &SweepConfig) -> SweepReport {
         double_crashes: 0,
         failures: Vec::new(),
         flight_dump: Vec::new(),
+        flight_events: Vec::new(),
     };
     let chosen: Vec<u64> = if cfg.max_replays == 0 || points <= cfg.max_replays {
         (0..points).collect()

@@ -33,7 +33,7 @@
 //! from the `FAULT_SEED` environment variable) produces the same
 //! workload, the same crash-point schedule, and the same verdicts.
 
-use bdhtm_core::obs::EventKind;
+use bdhtm_core::obs::{EventKind, FlightEvent};
 use bdhtm_core::{EpochConfig, EpochSys};
 use hashtable::BdSpash;
 use htm_sim::{Htm, HtmConfig, SplitMix64};
@@ -178,6 +178,11 @@ pub struct SweepReport {
     /// excluded from [`digest_reports`] — timing-dependent text must not
     /// perturb the behavior-preservation digest.
     pub flight_dump: Vec<String>,
+    /// The same events, raw — what `fault_sweep` feeds the Perfetto
+    /// exporter ([`bdhtm_core::trace::chrome_trace`]) when a failure
+    /// warrants a timeline, not just a text tail. Also excluded from
+    /// [`digest_reports`].
+    pub flight_events: Vec<FlightEvent>,
 }
 
 impl SweepReport {
@@ -279,14 +284,14 @@ const FLIGHT_DUMP_EVENTS: usize = 32;
 
 /// Runs the workload with a crash armed at `point`; returns the crash
 /// image, the mutation log, whether the point fired, and the crashed
-/// run's rendered flight-recorder tail (the postmortem context a
-/// failing replay attaches to its report). A point at or beyond the
-/// schedule's end degenerates to a crash after the final operation —
-/// still a legal crash.
+/// run's flight-recorder tail (the postmortem context a failing replay
+/// attaches to its report). A point at or beyond the schedule's end
+/// degenerates to a crash after the final operation — still a legal
+/// crash.
 fn crash_at<T: SweepTarget>(
     cfg: &SweepConfig,
     point: u64,
-) -> (CrashImage, Vec<(u64, Mutation)>, bool, Vec<String>) {
+) -> (CrashImage, Vec<(u64, Mutation)>, bool, Vec<FlightEvent>) {
     let (heap, esys, t) = setup::<T>(cfg);
     let mut plan = FaultPlan::crash_at(point);
     if cfg.torn {
@@ -301,7 +306,7 @@ fn crash_at<T: SweepTarget>(
     heap.disarm_fault_plan();
     match outcome {
         Ok(()) => {
-            let dump = render_dump(&esys);
+            let dump = dump_events(&esys);
             (heap.crash(), log, false, dump)
         }
         Err(payload) => {
@@ -316,7 +321,7 @@ fn crash_at<T: SweepTarget>(
                 crash.point,
                 crash_kind_code(crash.kind),
             );
-            let dump = render_dump(&esys);
+            let dump = dump_events(&esys);
             let img = plan.take_image().expect("fired plan must capture an image");
             (img, log, true, dump)
         }
@@ -332,12 +337,8 @@ fn crash_kind_code(kind: CrashPointKind) -> u64 {
     }
 }
 
-fn render_dump(esys: &EpochSys) -> Vec<String> {
-    esys.obs()
-        .dump(FLIGHT_DUMP_EVENTS)
-        .iter()
-        .map(|e| e.render())
-        .collect()
+fn dump_events(esys: &EpochSys) -> Vec<FlightEvent> {
+    esys.obs().dump(FLIGHT_DUMP_EVENTS)
 }
 
 /// Recovers `img` and returns the recovered system, target, and frontier.
@@ -432,13 +433,13 @@ pub fn replay<T: SweepTarget>(cfg: &SweepConfig, point: u64) -> Result<ReplayVer
     replay_with_dump::<T>(cfg, point).map_err(|(msg, _dump)| msg)
 }
 
-/// [`replay`], but a failure also carries the crashed run's rendered
+/// [`replay`], but a failure also carries the crashed run's raw
 /// flight-recorder tail (used by [`sweep`] to populate
-/// [`SweepReport::flight_dump`]).
+/// [`SweepReport::flight_dump`] / [`SweepReport::flight_events`]).
 pub fn replay_with_dump<T: SweepTarget>(
     cfg: &SweepConfig,
     point: u64,
-) -> Result<ReplayVerdict, (String, Vec<String>)> {
+) -> Result<ReplayVerdict, (String, Vec<FlightEvent>)> {
     silence_crash_panics();
     let (img, log, fired, dump) = crash_at::<T>(cfg, point);
     let mut double_crashed = false;
@@ -492,6 +493,7 @@ pub fn sweep<T: SweepTarget>(cfg: &SweepConfig) -> SweepReport {
         double_crashes: 0,
         failures: Vec::new(),
         flight_dump: Vec::new(),
+        flight_events: Vec::new(),
     };
     for point in chosen_points(points, cfg.max_replays) {
         report.replays += 1;
@@ -502,7 +504,8 @@ pub fn sweep<T: SweepTarget>(cfg: &SweepConfig) -> SweepReport {
             }
             Err((e, dump)) => {
                 if report.failures.is_empty() {
-                    report.flight_dump = dump;
+                    report.flight_dump = dump.iter().map(|ev| ev.render()).collect();
+                    report.flight_events = dump;
                 }
                 report.failures.push(e);
             }
@@ -593,14 +596,15 @@ mod tests {
         let (_img, _log, fired, dump) = crash_at::<BdSpash>(&cfg, 5);
         assert!(fired, "an early point must fire");
         assert!(!dump.is_empty(), "a crashed run must leave flight events");
-        assert!(
-            dump.last().unwrap().contains("FaultInjected"),
+        assert_eq!(
+            dump.last().unwrap().kind,
+            EventKind::FaultInjected,
             "the injected crash must be the newest event: {:?}",
             dump.last()
         );
         assert!(
             dump.iter()
-                .any(|l| l.contains("OpBegin") || l.contains("OpCommit")),
+                .any(|ev| ev.kind == EventKind::OpBegin || ev.kind == EventKind::OpCommit),
             "lifecycle events must precede the fault"
         );
     }

@@ -45,7 +45,10 @@ fn bucket_upper(i: usize) -> u64 {
 
 struct Shard {
     buckets: [AtomicU64; HIST_BUCKETS],
-    count: AtomicU64,
+    // No separate count: it is always the bucket total. Keeping a second
+    // counter would let a concurrent snapshot (the metrics sampler) see
+    // the two out of sync mid-record; deriving it makes every snapshot's
+    // `count == Σ buckets` hold by construction.
     sum: AtomicU64,
     max: AtomicU64,
 }
@@ -54,7 +57,6 @@ impl Shard {
     fn new() -> Self {
         Shard {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
         }
@@ -86,17 +88,32 @@ impl LogHistogram {
     pub fn record(&self, value: u64) {
         let s = self.shards[thread_id()].get_or_init(|| Box::new(Shard::new()));
         s.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
-        s.count.fetch_add(1, Ordering::Relaxed);
         s.sum.fetch_add(value, Ordering::Relaxed);
         s.max.fetch_max(value, Ordering::Relaxed);
     }
 
-    /// Aggregates every shard into an owned snapshot.
+    /// Records `n` samples of the same value in one shot (bulk folding,
+    /// e.g. an overflow aggregate recorded at its mean). Equivalent to
+    /// `n` calls to [`record`](Self::record) except that `sum` saturates
+    /// instead of wrapping if `value * n` overflows a `u64`.
+    #[inline]
+    pub fn record_n(&self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let s = self.shards[thread_id()].get_or_init(|| Box::new(Shard::new()));
+        s.buckets[bucket_of(value)].fetch_add(n, Ordering::Relaxed);
+        s.sum.fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        s.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Aggregates every shard into an owned snapshot. Safe to call
+    /// concurrently with recorders: `count` is derived from the bucket
+    /// totals, so it can never disagree with them, even mid-record.
     pub fn snapshot(&self) -> HistSnapshot {
         let mut t = HistSnapshot::default();
         for slot in self.shards.iter() {
             if let Some(s) = slot.get() {
-                t.count += s.count.load(Ordering::Relaxed);
                 t.sum += s.sum.load(Ordering::Relaxed);
                 t.max = t.max.max(s.max.load(Ordering::Relaxed));
                 for (i, b) in s.buckets.iter().enumerate() {
@@ -104,6 +121,7 @@ impl LogHistogram {
                 }
             }
         }
+        t.count = t.buckets.iter().sum();
         t
     }
 
@@ -111,7 +129,6 @@ impl LogHistogram {
     pub fn reset(&self) {
         for slot in self.shards.iter() {
             if let Some(s) = slot.get() {
-                s.count.store(0, Ordering::Relaxed);
                 s.sum.store(0, Ordering::Relaxed);
                 s.max.store(0, Ordering::Relaxed);
                 for b in s.buckets.iter() {
@@ -187,10 +204,13 @@ impl HistSnapshot {
     }
 
     /// Difference of two snapshots (self − earlier), saturating per
-    /// field so a reset between snapshots cannot underflow.
+    /// field so a reset between snapshots cannot underflow. The delta's
+    /// `count` is the delta buckets' total, keeping `count == Σ buckets`
+    /// an invariant of deltas too (a plain count subtraction would break
+    /// it when a reset saturated some buckets but not the count).
     pub fn since(&self, earlier: &HistSnapshot) -> HistSnapshot {
         let mut d = HistSnapshot {
-            count: self.count.saturating_sub(earlier.count),
+            count: 0,
             sum: self.sum.saturating_sub(earlier.sum),
             max: self.max,
             buckets: [0; HIST_BUCKETS],
@@ -198,6 +218,7 @@ impl HistSnapshot {
         for i in 0..HIST_BUCKETS {
             d.buckets[i] = self.buckets[i].saturating_sub(earlier.buckets[i]);
         }
+        d.count = d.buckets.iter().sum();
         d
     }
 }
@@ -256,6 +277,22 @@ mod tests {
         assert_eq!(s.count, 1);
         assert_eq!(s.buckets[0], 1);
         assert_eq!(s.p50(), 0);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        for _ in 0..7 {
+            a.record(300);
+        }
+        b.record_n(300, 7);
+        b.record_n(300, 0); // no-op
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_eq!(sa.count, sb.count);
+        assert_eq!(sa.sum, sb.sum);
+        assert_eq!(sa.max, sb.max);
+        assert_eq!(sa.buckets, sb.buckets);
     }
 
     #[test]

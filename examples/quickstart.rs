@@ -6,28 +6,19 @@
 //!
 //! ```sh
 //! cargo run --release --example quickstart
-//! cargo run --release --example quickstart -- --metrics-json m.json
+//! cargo run --release --example quickstart -- --metrics-json m.json \
+//!     --metrics-series s.jsonl --trace-out trace.json
 //! ```
 
 use bd_htm::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Optional `--metrics-json <path>` / `--metrics-json=<path>` argument.
-fn metrics_path() -> Option<String> {
-    let mut path = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--metrics-json" {
-            path = args.next();
-        } else if let Some(p) = a.strip_prefix("--metrics-json=") {
-            path = Some(p.to_string());
-        }
-    }
-    path
-}
-
 fn main() {
+    // The shared observability flags every experiment binary accepts:
+    // --metrics-json, --metrics-series, --trace-out (see bench::cli).
+    let mut sink = bench::MetricsSink::from_args();
+
     // 64 MiB of simulated NVM, zero added latency (semantics only).
     let heap = Arc::new(NvmHeap::new(NvmConfig::for_tests(64 << 20)));
     let esys = EpochSys::format(
@@ -35,6 +26,8 @@ fn main() {
         EpochConfig::default().with_epoch_len(Duration::from_millis(5)),
     );
     let htm = Arc::new(Htm::new(HtmConfig::default()));
+    sink.attach_htm(&htm);
+    sink.attach_esys(&esys);
     let map = BdhtHashMap::new(1 << 12, Arc::clone(&esys), Arc::clone(&htm));
 
     // A background thread advances epochs every 5 ms, persisting buffered
@@ -72,14 +65,9 @@ fn main() {
     );
 
     // One unified report covering the whole pre-crash run: HTM, NVM
-    // traffic, epoch stats, allocator footprint, latency histograms.
-    if let Some(path) = metrics_path() {
-        let mut registry = MetricsRegistry::new();
-        registry.attach_htm(Arc::clone(&htm));
-        registry.attach_esys(Arc::clone(&esys));
-        std::fs::write(&path, registry.report().to_json()).expect("write metrics report");
-        println!("metrics written to {path}");
-    }
+    // traffic, epoch stats, allocator footprint, latency histograms —
+    // plus the time series and Perfetto trace if their flags were given.
+    sink.write();
 
     // Full-system crash: everything not written back to media is lost.
     println!("simulating a crash...");

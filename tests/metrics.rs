@@ -77,7 +77,7 @@ fn json_round_trips_through_the_parser() {
         doc.get("schema").and_then(|v| v.as_str()),
         Some("bdhtm-metrics")
     );
-    assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(3));
 
     // Counters survive serialization exactly.
     let h = report.htm.unwrap();
@@ -127,6 +127,29 @@ fn json_round_trips_through_the_parser() {
     assert_eq!(
         epoch.get("watchdog_fires").and_then(|v| v.as_u64()),
         Some(e.watchdog_fires)
+    );
+
+    // v3 additions: durability-lag quantiles, dropped-span and
+    // dropped-event gauges, and the lag histogram itself.
+    assert_eq!(
+        derived.get("durability_lag_p99").and_then(|v| v.as_u64()),
+        Some(d.durability_lag_p99)
+    );
+    assert_eq!(
+        derived.get("lag_spans_dropped").and_then(|v| v.as_u64()),
+        Some(d.lag_spans_dropped)
+    );
+    assert_eq!(
+        derived
+            .get("flight_events_dropped")
+            .and_then(|v| v.as_u64()),
+        Some(d.flight_events_dropped)
+    );
+    assert!(
+        doc.get("histograms")
+            .and_then(|h| h.get("durability_lag_ns"))
+            .is_some(),
+        "v3 report carries the durability lag histogram"
     );
 
     // Histogram bucket lists carry the full count.
