@@ -29,9 +29,12 @@
 //! `--compare-pipeline` validates two reports from the same workload —
 //! one with synchronous (inline) epoch persistence, one with the
 //! background persister — and gates the pipeline's perf claims:
-//! pipelined `advance_ns` p99 must beat the synchronous p99, and the
-//! seal-time dedup means write amplification must not regress (≤ 1.10×
-//! the synchronous run's). The comparison is written as JSON to the
+//! the two `advance_ns` histograms must carry the *same sample count*
+//! (produce them with `fig7_epoch_length --gate-advances N`; quantiles
+//! over different population sizes are not comparable), pipelined
+//! `advance_ns` p99 must beat the synchronous p99, and the intake-time
+//! dedup means write amplification must not regress (≤ 1.10× the
+//! synchronous run's). The comparison is written as JSON to the
 //! `--out` path.
 
 use bdhtm_core::obs::{JsonValue, METRICS_SCHEMA, METRICS_SERIES_SCHEMA, METRICS_VERSION};
@@ -104,9 +107,9 @@ fn check_report(doc: &JsonValue) -> Vec<String> {
     if req(doc, "schema").as_str() != Some(METRICS_SCHEMA) {
         fail(&format!("schema is not {METRICS_SCHEMA:?}"));
     }
-    // v2 and v3 only *added* fields (runtime-fault counters and
-    // durability-lag telemetry respectively), so this checker accepts
-    // every version back to 1.
+    // v2, v3 and v4 only *added* fields (runtime-fault counters,
+    // durability-lag telemetry and persister-pool telemetry
+    // respectively), so this checker accepts every version back to 1.
     let version = req_u64(doc, "version");
     if !(1..=METRICS_VERSION).contains(&version) {
         fail(&format!(
@@ -169,6 +172,28 @@ fn check_report(doc: &JsonValue) -> Vec<String> {
             let _ = req_u64(d, "flight_events_dropped");
             summary.push(format!("lag_p99={p99}ns"));
         }
+        // v4 pool gauges: the worker count (a gauge of *attached* pool
+        // threads — legitimately 0 in inline-persist mode) and a
+        // well-formed per-worker write-back array. (No
+        // sum-vs-words_persisted cross-check: the columns advance at
+        // chunk completion, the total at batch completion, so a
+        // mid-flight batch legitimately puts them out of step within
+        // one sample.)
+        if version >= 4 {
+            let workers = req_u64(d, "persist_workers");
+            let per_worker = req(d, "persist_worker_words")
+                .as_arr()
+                .unwrap_or_else(|| fail("persist_worker_words is not an array"));
+            for w in per_worker {
+                if w.as_u64().is_none() {
+                    fail("persist_worker_words entry not a non-negative integer");
+                }
+            }
+            if let Some(e) = doc.get("epoch") {
+                let _ = req_u64(e, "coalesced_flushes");
+            }
+            summary.push(format!("persist_workers={workers}"));
+        }
     }
 
     // Histograms: monotone quantiles, bucket counts sum to count.
@@ -182,6 +207,12 @@ fn check_report(doc: &JsonValue) -> Vec<String> {
                 && !members.iter().any(|(n, _)| n == "durability_lag_ns")
             {
                 fail("v3 report with an epoch system lacks durability_lag_ns");
+            }
+            if doc.get("derived").is_some()
+                && req_u64(doc, "version") >= 4
+                && !members.iter().any(|(n, _)| n == "persist_chunks")
+            {
+                fail("v4 report with an epoch system lacks persist_chunks");
             }
             summary.push(format!("{} histograms", members.len()));
         }
@@ -327,6 +358,13 @@ fn compare_pipeline(sync_path: &str, pipe_path: &str, out: Option<&str>) {
         fail(&format!(
             "advance_ns is empty (sync count={sync_n}, pipelined count={pipe_n}); \
              the runs must actually advance epochs for the comparison to mean anything"
+        ));
+    }
+    if sync_n != pipe_n {
+        fail(&format!(
+            "advance_ns sample counts differ (sync {sync_n}, pipelined {pipe_n}); \
+             quantiles over different population sizes are not comparable — \
+             produce the reports with fig7_epoch_length --gate-advances N"
         ));
     }
     let sync_p99 = hist_u64(&sync_doc, sync_path, "advance_ns", "p99");

@@ -3,6 +3,12 @@
 use crate::watchdog::WatchdogPolicy;
 use std::time::Duration;
 
+/// Width of the per-worker write-back telemetry (the obs v4
+/// `persist_worker_words` gauge) and the ceiling on
+/// [`EpochConfig::persist_workers`]. Workers beyond the ceiling are
+/// clamped; telemetry slot 0 is the coordinator / inline-drain column.
+pub const MAX_PERSIST_WORKERS: usize = 8;
+
 /// Configuration of an [`EpochSys`](crate::EpochSys).
 #[derive(Clone, Debug)]
 pub struct EpochConfig {
@@ -35,10 +41,22 @@ pub struct EpochConfig {
     /// persister worker is running — deterministic tests can keep the
     /// full production topology while forcing synchronous write-back.
     pub background_persist: bool,
-    /// Write-back retries per sealed batch when the device returns a
-    /// transient [`DeviceError`](nvm_sim::DeviceError). The batch is
-    /// attempted `1 + persist_retries` times with exponential backoff
-    /// before the system degrades (see
+    /// Write-back workers in the persister pool spawned by
+    /// [`Persister::spawn`](crate::Persister::spawn): one coordinator
+    /// draining the batch queue plus `persist_workers − 1` chunk
+    /// workers the coordinator fans each batch's flush plan out to.
+    /// `0` (the default) sizes the pool automatically from
+    /// [`std::thread::available_parallelism`] (half the cores);
+    /// see [`effective_persist_workers`](Self::effective_persist_workers).
+    /// `1` reproduces the single serial persister. Capped at
+    /// [`MAX_PERSIST_WORKERS`]. Parallelism is strictly within one
+    /// batch — frontier publishes stay in epoch order at any setting.
+    pub persist_workers: usize,
+    /// Write-back retries per flush-plan chunk when the device returns
+    /// a transient [`DeviceError`](nvm_sim::DeviceError). Each chunk
+    /// (the whole plan, when serial) is attempted `1 + persist_retries`
+    /// times with exponential backoff; any chunk exhausting its budget
+    /// re-queues the whole batch and degrades the system (see
     /// [`HealthState`](crate::HealthState)). `0` means no retries.
     pub persist_retries: u32,
     /// Base of the persist-retry backoff ladder, in busy spins: retry
@@ -70,6 +88,7 @@ impl Default for EpochConfig {
             max_buffered_words: 0,
             pipeline_depth: 2,
             background_persist: true,
+            persist_workers: 0,
             persist_retries: 5,
             persist_backoff_spins: 64,
             watchdog_period: Duration::from_millis(100),
@@ -120,7 +139,29 @@ impl EpochConfig {
         self
     }
 
-    /// Sets the per-batch write-back retry budget (see
+    /// Sets the persister-pool width (see
+    /// [`EpochConfig::persist_workers`]; 0 = auto).
+    pub fn with_persist_workers(mut self, workers: usize) -> Self {
+        self.persist_workers = workers;
+        self
+    }
+
+    /// The pool width [`Persister::spawn`](crate::Persister::spawn)
+    /// actually uses: `persist_workers` clamped to
+    /// `1..=MAX_PERSIST_WORKERS`, with `0` resolved to half the
+    /// machine's available parallelism.
+    pub fn effective_persist_workers(&self) -> usize {
+        let n = if self.persist_workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get() / 2)
+                .unwrap_or(1)
+        } else {
+            self.persist_workers
+        };
+        n.clamp(1, MAX_PERSIST_WORKERS)
+    }
+
+    /// Sets the per-chunk write-back retry budget (see
     /// [`EpochConfig::persist_retries`]).
     pub fn with_persist_retries(mut self, retries: u32) -> Self {
         self.persist_retries = retries;

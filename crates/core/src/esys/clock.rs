@@ -397,9 +397,10 @@ impl EpochSys {
         // the same lock) to complete first.
         let (persist_list, retire_list) = unsafe { self.arenas.take_gen(e - 1) };
 
-        // 3. Seal: sort + dedup, refunding duplicate accounting now.
-        let (batch, excess) = EpochBatch::seal(e - 1, persist_list, retire_list);
-        self.account.drain(excess);
+        // 3. Seal raw: a move plus an accounting sum. The sort + dedup
+        //    (and the duplicate-accounting refund) now run at persist
+        //    intake, off the sealing thread.
+        let batch = EpochBatch::seal(e - 1, persist_list, retire_list);
         self.obs().event(
             EventKind::BatchSealed,
             batch.persist.len() as u64,

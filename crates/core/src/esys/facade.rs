@@ -26,6 +26,7 @@ use super::account::Accounting;
 use super::clock::{EpochClock, EMPTY_EPOCH, EPOCH_START};
 use super::health::{EpochStats, FaultInjector};
 use super::pipeline::Pipeline;
+use super::pool::ChunkPool;
 use super::tracking::{payload, ThreadArenas};
 use crate::error::{HealthState, PersistError};
 use crate::obs::Obs;
@@ -70,6 +71,9 @@ pub struct EpochSys {
     /// inline drain).
     pub(super) persist_lock: Mutex<()>,
     pub(super) pipeline: Pipeline,
+    /// Chunk fan-out state of the persister pool (write-back sharding
+    /// within a batch; see `esys::pool`).
+    pub(super) pool: ChunkPool,
     /// eADR detected: tracking and advancement are unnecessary (§4.3).
     disabled: bool,
     config: EpochConfig,
@@ -123,6 +127,7 @@ impl EpochSys {
             advance_lock: Mutex::new(()),
             persist_lock: Mutex::new(()),
             pipeline: Pipeline::new(),
+            pool: ChunkPool::new(),
             disabled,
             config,
             stats: EpochStats::default(),

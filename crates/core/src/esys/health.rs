@@ -28,6 +28,7 @@ pub struct EpochStats {
     pub(crate) backpressure_advances: AtomicU64,
     pub(crate) pipeline_stalls: AtomicU64,
     pub(crate) persist_retries: AtomicU64,
+    pub(crate) coalesced_flushes: AtomicU64,
     pub(crate) degradations: AtomicU64,
     pub(crate) watchdog_fires: AtomicU64,
 }
@@ -44,6 +45,7 @@ impl EpochStats {
             backpressure_advances: self.backpressure_advances.load(Ordering::Relaxed),
             pipeline_stalls: self.pipeline_stalls.load(Ordering::Relaxed),
             persist_retries: self.persist_retries.load(Ordering::Relaxed),
+            coalesced_flushes: self.coalesced_flushes.load(Ordering::Relaxed),
             degradations: self.degradations.load(Ordering::Relaxed),
             watchdog_fires: self.watchdog_fires.load(Ordering::Relaxed),
         }
@@ -59,6 +61,7 @@ impl EpochStats {
         self.backpressure_advances.store(0, Ordering::Relaxed);
         self.pipeline_stalls.store(0, Ordering::Relaxed);
         self.persist_retries.store(0, Ordering::Relaxed);
+        self.coalesced_flushes.store(0, Ordering::Relaxed);
         self.degradations.store(0, Ordering::Relaxed);
         self.watchdog_fires.store(0, Ordering::Relaxed);
     }
@@ -87,6 +90,10 @@ pub struct EpochStatsSnapshot {
     /// Batch write-back attempts retried after a transient
     /// [`DeviceError`](nvm_sim::DeviceError).
     pub persist_retries: u64,
+    /// Ranged flushes saved by merging word-contiguous blocks in a
+    /// batch's flush plan (each merge retires one `persist_range` call;
+    /// the device still sees every line).
+    pub coalesced_flushes: u64,
     /// Health-ladder downgrades (`Ok → Degraded` and
     /// `Degraded → Failed` each count once).
     pub degradations: u64,
@@ -110,6 +117,7 @@ impl EpochStatsSnapshot {
                 .saturating_sub(e.backpressure_advances),
             pipeline_stalls: self.pipeline_stalls.saturating_sub(e.pipeline_stalls),
             persist_retries: self.persist_retries.saturating_sub(e.persist_retries),
+            coalesced_flushes: self.coalesced_flushes.saturating_sub(e.coalesced_flushes),
             degradations: self.degradations.saturating_sub(e.degradations),
             watchdog_fires: self.watchdog_fires.saturating_sub(e.watchdog_fires),
         }
@@ -255,6 +263,9 @@ impl EpochSys {
         );
         self.pipeline.batch_ready.notify_all();
         self.pipeline.batch_done.notify_all();
+        // Chunk workers retire once the ladder leaves Ok; wake any that
+        // are parked on the pool's work queue.
+        self.pool.work_ready.notify_all();
     }
 
     // ----- epoch-system fault injection -----------------------------------

@@ -12,6 +12,7 @@
 //! | [`tracking`] | per-thread single-writer buffer arenas, prealloc slots | Listing 1 lines 7–12, 31–38 |
 //! | [`account`] | striped buffered-word accounting | §5.1 buffered-bytes bound |
 //! | [`pipeline`] | sealed [`EpochBatch`] queue, seal/persist split | §3 step 2 (write-back) |
+//! | [`pool`] | persister-pool chunk fan-out, flush-plan partitioning | §3 step 2 (write-back bandwidth) |
 //! | [`health`] | stats, the `Ok → Degraded → Failed` ladder, fault knobs | §5 runtime faults |
 //! | [`facade`] | [`EpochSys`] itself: the Table 2 methods, advance, recovery hooks | Table 2 |
 //!
@@ -24,6 +25,7 @@ mod clock;
 mod facade;
 mod health;
 mod pipeline;
+mod pool;
 mod tracking;
 
 pub use clock::{EMPTY_EPOCH, EPOCH_START};

@@ -11,11 +11,19 @@
 //! (Relaxed). Nothing in this module participates in the clock's
 //! Dekker handshake — by the time a batch exists, its epoch has
 //! already quiesced.
+//!
+//! Write-back itself may fan out across the persister pool (see
+//! [`pool`](super::pool)): the thread holding the persist lock builds
+//! the batch's flush plan, coalescing word-contiguous blocks into
+//! ranged flushes, splits it into chunks for any attached chunk
+//! workers, joins them, and only then fences and publishes the
+//! frontier — so the pool parallelism is invisible to everything
+//! downstream of the frontier.
 
 use crate::error::HealthState;
 use crate::obs::EventKind;
 use htm_sim::{backoff_ladder, backoff_spin};
-use nvm_sim::{DeviceError, NvmAddr};
+use nvm_sim::{DeviceError, NvmAddr, WORDS_PER_LINE};
 use persist_alloc::{Header, CLASS_WORDS, HDR_WORDS};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,45 +31,68 @@ use std::sync::{Condvar, Mutex as StdMutex, MutexGuard};
 use std::time::Duration;
 
 use super::facade::{EpochSys, ROOT_FRONTIER};
+use super::pool::FlushRange;
 
-/// A sealed snapshot of everything one closed epoch tracked, sorted and
-/// deduplicated by block address, ready for write-back.
+/// A sealed snapshot of everything one closed epoch tracked, ready for
+/// write-back once normalized (sorted + deduplicated) at persist intake.
 ///
 /// Sealing happens on the advancing thread under the advance lock (the
-/// cheap foreground half of an epoch transition); the write-back,
-/// fence, frontier publish, and reclamation happen when the batch is
-/// *persisted* — by a [`Persister`](crate::Persister) worker in
-/// pipelined mode, or inline on the advancing thread otherwise.
+/// cheap foreground half of an epoch transition) and is now a plain
+/// move-plus-sum — the sort/dedup runs at the pipeline's intake, on
+/// whichever thread persists the batch. The write-back, fence, frontier
+/// publish, and reclamation happen when the batch is *persisted* — by a
+/// [`Persister`](crate::Persister) worker in pipelined mode, or inline
+/// on the advancing thread otherwise.
 pub struct EpochBatch {
     /// The epoch this batch closes: once persisted, the durable
     /// frontier becomes exactly this value.
     pub(super) epoch: u64,
-    /// Unique tracked blocks in address order (address order is cache
-    /// line order — duplicates merged at seal time). The second field
-    /// is the word count still accounted against the buffered set.
+    /// Tracked blocks; after [`normalize`](Self::normalize), unique and
+    /// in address order (address order is cache line order). The second
+    /// field is the word count accounted against the buffered set.
     pub(super) persist: Vec<(NvmAddr, u64)>,
     pub(super) retire: Vec<NvmAddr>,
     /// Words to refund from the buffered-set account when the batch
-    /// persists (duplicate trackings were refunded at seal time).
+    /// persists. Raw sum at seal time; `normalize` subtracts the
+    /// duplicate-tracking excess it refunds early.
     pub(super) accounted: u64,
+    /// Whether `normalize` has run (it is idempotent; a re-queued batch
+    /// arrives at intake already normalized).
+    pub(super) normalized: bool,
 }
 
 impl EpochBatch {
-    /// Sorts, dedups, and accounts the drained buffers. Returns the
-    /// batch plus the *excess* words double-counted by duplicate
-    /// `p_track` calls — the fix for the historical double-accounting
+    /// Seals the drained buffers as-is: a move plus an accounting sum,
+    /// cheap enough for the foreground advance path. Sorting and
+    /// duplicate merging are deferred to [`normalize`](Self::normalize)
+    /// at persist intake, off the sealing thread.
+    pub(super) fn seal(epoch: u64, persist: Vec<(NvmAddr, u64)>, retire: Vec<NvmAddr>) -> Self {
+        let accounted =
+            persist.iter().map(|&(_, w)| w).sum::<u64>() + retire.len() as u64 * HDR_WORDS;
+        EpochBatch {
+            epoch,
+            persist,
+            retire,
+            accounted,
+            normalized: false,
+        }
+    }
+
+    /// Sorts and dedups the tracked blocks, returning the *excess*
+    /// words double-counted by duplicate `p_track` calls so the caller
+    /// can refund them — the fix for the historical double-accounting
     /// bug: a block tracked N times in one epoch used to hit media N
     /// times and inflate the buffered-word account N-fold; now it
-    /// persists once and the N−1 duplicate accountings are refunded
-    /// immediately.
-    pub(super) fn seal(
-        epoch: u64,
-        mut persist: Vec<(NvmAddr, u64)>,
-        retire: Vec<NvmAddr>,
-    ) -> (Self, u64) {
-        persist.sort_unstable_by_key(|&(blk, _)| blk);
+    /// persists once and the N−1 duplicate accountings are refunded at
+    /// intake. Idempotent: the second call returns 0.
+    pub(super) fn normalize(&mut self) -> u64 {
+        if self.normalized {
+            return 0;
+        }
+        self.normalized = true;
+        self.persist.sort_unstable_by_key(|&(blk, _)| blk);
         let mut excess = 0u64;
-        persist.dedup_by(|dup, kept| {
+        self.persist.dedup_by(|dup, kept| {
             if dup.0 == kept.0 {
                 excess += dup.1;
                 true
@@ -69,17 +100,8 @@ impl EpochBatch {
                 false
             }
         });
-        let accounted =
-            persist.iter().map(|&(_, w)| w).sum::<u64>() + retire.len() as u64 * HDR_WORDS;
-        (
-            EpochBatch {
-                epoch,
-                persist,
-                retire,
-                accounted,
-            },
-            excess,
-        )
+        self.accounted -= excess;
+        excess
     }
 
     /// The epoch this batch closes.
@@ -185,9 +207,17 @@ impl EpochSys {
         }
     }
 
-    /// Wakes the persister worker(s) (used by `Persister::stop`).
+    /// Attached persister workers (the batch-level head-count; chunk
+    /// workers are counted separately by the pool).
+    pub(super) fn attached_persisters(&self) -> u64 {
+        self.pipeline.persisters.load(Ordering::Acquire)
+    }
+
+    /// Wakes the persister worker(s) and the pool's chunk workers
+    /// (used by `Persister::stop`).
     pub(crate) fn notify_persisters(&self) {
         self.pipeline.batch_ready.notify_all();
+        self.pool.work_ready.notify_all();
     }
 
     /// Writes back the oldest sealed batch, if any: persist its blocks
@@ -214,56 +244,181 @@ impl EpochSys {
         }
         let batch = self.pipeline.lock().batches.pop_front();
         match batch {
-            Some(b) => match self.persist_batch_with_retry(b) {
-                Ok(()) => true,
-                Err((b, err)) => {
-                    // Re-queue at the front so epoch order (and the
-                    // frontier's monotonicity) survives the failure.
-                    self.pipeline.lock().batches.push_front(b);
-                    let next = match self.health() {
-                        HealthState::Ok => HealthState::Degraded,
-                        _ => HealthState::Failed,
-                    };
-                    self.escalate_health(next, Some(err));
-                    false
+            Some(mut b) => {
+                // Intake normalization: the sort+dedup that used to run
+                // on the sealing thread. The duplicate-tracking excess
+                // is refunded here, before write-back begins.
+                let excess = b.normalize();
+                if excess != 0 {
+                    self.account.drain(excess);
                 }
-            },
+                self.persist_popped_batch(b)
+            }
             None => false,
         }
     }
 
-    /// Writes `batch` back with the configured retry budget: transient
-    /// [`DeviceError`]s back off on the HTM exponential ladder (plus
-    /// seeded jitter) and retry; success completes the batch. On budget
-    /// exhaustion the untouched batch is handed back with the typed
-    /// [`PersistError`](crate::PersistError). Retrying the device
-    /// sequence from the top is safe — `persist_range`/`clwb`/frontier
-    /// write are idempotent.
+    /// The post-intake half of [`persist_next_batch`](Self::persist_next_batch),
+    /// split out so the retry/escalation bookkeeping reads linearly.
+    fn persist_popped_batch(&self, b: EpochBatch) -> bool {
+        match self.persist_batch_with_retry(b) {
+            Ok(()) => true,
+            Err((b, err)) => {
+                // Re-queue at the front so epoch order (and the
+                // frontier's monotonicity) survives the failure.
+                self.pipeline.lock().batches.push_front(b);
+                let next = match self.health() {
+                    HealthState::Ok => HealthState::Degraded,
+                    _ => HealthState::Failed,
+                };
+                self.escalate_health(next, Some(err));
+                false
+            }
+        }
+    }
+
+    /// Writes `batch` back (fanning out across the persister pool when
+    /// chunk workers are attached), then fences and publishes the
+    /// frontier record. Transient [`DeviceError`]s back off on the HTM
+    /// exponential ladder (plus seeded jitter) and retry — per chunk,
+    /// with batch-level aggregation; success completes the batch. On
+    /// budget exhaustion of any chunk the untouched batch is handed
+    /// back with the typed [`PersistError`](crate::PersistError).
+    /// Retrying any part of the device sequence from its top is safe —
+    /// `persist_range`/`clwb`/frontier write are idempotent.
     fn persist_batch_with_retry(
         &self,
         batch: EpochBatch,
     ) -> Result<(), (EpochBatch, crate::PersistError)> {
         let t0 = std::time::Instant::now();
+        let (plan, coalesced) = self.build_flush_plan(&batch);
+        if coalesced != 0 {
+            self.stats()
+                .coalesced_flushes
+                .fetch_add(coalesced, Ordering::Relaxed);
+        }
+        let written = self
+            .persist_plan(batch.epoch, plan)
+            .and_then(|words| self.publish_frontier_device(batch.epoch).map(|()| words));
+        match written {
+            Ok(words) => {
+                self.complete_batch(batch, words, t0);
+                Ok(())
+            }
+            Err((attempts, cause)) => {
+                let err = crate::PersistError {
+                    epoch: batch.epoch,
+                    attempts,
+                    cause,
+                };
+                Err((batch, err))
+            }
+        }
+    }
+
+    /// Builds the batch's flush plan: one [`FlushRange`] per live
+    /// tracked block, with word-contiguous neighbors coalesced into a
+    /// single ranged flush, followed by the retirement-record header
+    /// lines (never merged — headers end mid-line). Returns the plan
+    /// and the number of flushes saved by coalescing.
+    ///
+    /// Coalescing is digest-neutral: blocks are line-aligned and the
+    /// size classes are line-multiples, so a merge happens only when
+    /// the previous range ends exactly on the next block's first line —
+    /// the merged range issues the identical per-line clwb schedule the
+    /// two separate ranges would (the device flushes ranges line by
+    /// line). The guard below makes that precondition explicit.
+    fn build_flush_plan(&self, batch: &EpochBatch) -> (Vec<FlushRange>, u64) {
+        debug_assert!(batch.normalized, "flush plans need sorted unique blocks");
+        let heap = self.heap();
+        let mut plan: Vec<FlushRange> =
+            Vec::with_capacity(batch.persist.len() + batch.retire.len());
+        let mut coalesced = 0u64;
+        for &(blk, _) in &batch.persist {
+            // A block freed after tracking (tracked then retired in a
+            // later epoch of the same batch window) has no live header:
+            // skip it, exactly as the serial persister always has.
+            if let Some((_, class)) = Header::state(heap, blk) {
+                let words = CLASS_WORDS[class];
+                match plan.last_mut() {
+                    Some(last)
+                        if last.start.0 + last.words == blk.0
+                            && (last.start.0 + last.words) % WORDS_PER_LINE == 0 =>
+                    {
+                        last.words += words;
+                        coalesced += 1;
+                    }
+                    _ => plan.push(FlushRange { start: blk, words }),
+                }
+            }
+        }
+        for &blk in &batch.retire {
+            plan.push(FlushRange {
+                start: blk,
+                words: HDR_WORDS,
+            });
+        }
+        (plan, coalesced)
+    }
+
+    /// Writes one chunk of a flush plan back, retrying transient device
+    /// errors on the backoff ladder. Each chunk gets the full
+    /// `1 + persist_retries` budget; the error carries the attempt
+    /// count for the batch-level [`PersistError`](crate::PersistError).
+    pub(super) fn persist_chunk_with_retry(
+        &self,
+        epoch: u64,
+        ranges: &[FlushRange],
+    ) -> Result<u64, (u32, DeviceError)> {
+        self.retry_device(epoch, || {
+            let heap = self.heap();
+            let mut words = 0u64;
+            for r in ranges {
+                heap.try_persist_range(r.start, r.words)?;
+                words += r.words;
+            }
+            Ok(words)
+        })
+    }
+
+    /// The write-back tail, run by the coordinator after every chunk
+    /// succeeded: fence the block flushes, persist the frontier record,
+    /// fence again. Has its own retry budget — the chunks' words are
+    /// already on media, so only these three device ops re-run.
+    fn publish_frontier_device(&self, r: u64) -> Result<(), (u32, DeviceError)> {
+        debug_assert!(self.clock.frontier() <= r, "frontier regression");
+        self.retry_device(r, || {
+            let heap = self.heap();
+            heap.try_fence()?;
+            // Frontier record: epochs ≤ r are durable once this line is
+            // flushed and fenced.
+            heap.write(heap.root(ROOT_FRONTIER), r);
+            heap.try_clwb(heap.root(ROOT_FRONTIER))?;
+            heap.try_fence()?;
+            Ok(())
+        })
+    }
+
+    /// The shared retry ladder: runs `op` up to `1 + persist_retries`
+    /// times, backing off exponentially with seeded jitter between
+    /// attempts. Used per chunk and for the frontier tail.
+    fn retry_device<T>(
+        &self,
+        epoch: u64,
+        mut op: impl FnMut() -> Result<T, DeviceError>,
+    ) -> Result<T, (u32, DeviceError)> {
         let mut attempt: u32 = 0;
         loop {
-            match self.persist_batch_device(&batch) {
-                Ok(words) => {
-                    self.complete_batch(batch, words, t0);
-                    return Ok(());
-                }
+            match op() {
+                Ok(v) => return Ok(v),
                 Err(cause) => {
                     attempt += 1;
                     if attempt > self.config().persist_retries {
-                        let err = crate::PersistError {
-                            epoch: batch.epoch,
-                            attempts: attempt,
-                            cause,
-                        };
-                        return Err((batch, err));
+                        return Err((attempt, cause));
                     }
                     self.stats().persist_retries.fetch_add(1, Ordering::Relaxed);
                     self.obs()
-                        .event(EventKind::PersistRetry, batch.epoch, attempt as u64);
+                        .event(EventKind::PersistRetry, epoch, attempt as u64);
                     let spins = backoff_ladder(self.config().persist_backoff_spins, attempt - 1);
                     if spins != 0 {
                         // Seeded jitter in [0, spins/2) decorrelates
@@ -275,36 +430,6 @@ impl EpochSys {
                 }
             }
         }
-    }
-
-    /// One device-level write-back attempt: persist the batch's blocks
-    /// and retirement records, fence, and persist the frontier record.
-    /// Pure device traffic — no volatile bookkeeping moves — so a
-    /// failed attempt can be retried from the top. Returns the words
-    /// written back.
-    fn persist_batch_device(&self, batch: &EpochBatch) -> Result<u64, DeviceError> {
-        let heap = self.heap();
-        let mut words = 0u64;
-        for &(blk, _) in &batch.persist {
-            if let Some((_, class)) = Header::state(heap, blk) {
-                heap.try_persist_range(blk, CLASS_WORDS[class])?;
-                words += CLASS_WORDS[class];
-            }
-        }
-        for &blk in &batch.retire {
-            heap.try_persist_range(blk, HDR_WORDS)?;
-            words += HDR_WORDS;
-        }
-        heap.try_fence()?;
-
-        // Frontier record: epochs ≤ batch.epoch are durable once this
-        // line is flushed and fenced.
-        let r = batch.epoch;
-        debug_assert!(self.clock.frontier() <= r, "frontier regression");
-        heap.write(heap.root(ROOT_FRONTIER), r);
-        heap.try_clwb(heap.root(ROOT_FRONTIER))?;
-        heap.try_fence()?;
-        Ok(words)
     }
 
     /// The volatile half of a successful write-back: publish the
@@ -457,10 +582,12 @@ mod tests {
     }
 
     /// Tracking the same block twice in one epoch used to double-count
-    /// the buffered-word account and hit media twice. Seal-time dedup
-    /// must make the accounting match one write-back.
+    /// the buffered-word account and hit media twice. Intake-time
+    /// normalization (the sort+dedup now runs where the batch is
+    /// persisted, not where it is sealed) must make the accounting
+    /// match one write-back.
     #[test]
-    fn seal_dedups_double_tracked_blocks() {
+    fn intake_dedups_double_tracked_blocks() {
         let es = fresh();
         let e = es.begin_op();
         let blk = es.p_new(2);
@@ -476,8 +603,64 @@ mod tests {
         assert_eq!(
             es.buffered_words(),
             0,
-            "seal-time refund plus persist-time refund must drain the account exactly"
+            "intake-time refund plus persist-time refund must drain the account exactly"
         );
+    }
+
+    /// The dedup refund also lands when a batch waits in the pipeline:
+    /// the sealing advance leaves the duplicate words buffered (seal no
+    /// longer normalizes), and the hand-driven persist refunds both the
+    /// excess and the batch's own accounting.
+    #[test]
+    fn pipelined_intake_refunds_duplicate_accounting() {
+        let es = fresh();
+        es.attach_persister();
+        let e = es.begin_op();
+        let blk = es.p_new(2);
+        Header::set_epoch(es.heap(), blk, e);
+        es.p_track(blk);
+        es.p_track(blk);
+        es.end_op();
+        let buffered = es.buffered_words();
+        es.advance();
+        es.advance(); // seals the double-tracked epoch; nothing persists yet
+        assert_eq!(
+            es.buffered_words(),
+            buffered,
+            "raw seal keeps the duplicate accounting until intake"
+        );
+        while es.persist_next_batch() {}
+        assert_eq!(es.buffered_words(), 0);
+        assert_eq!(es.stats().snapshot().blocks_persisted, 1);
+        es.detach_persister();
+    }
+
+    /// Contiguous neighbor blocks of one batch collapse into a single
+    /// ranged flush; the device sees fewer flush calls but the same
+    /// lines, and obs counts the merges.
+    #[test]
+    fn contiguous_blocks_coalesce_into_ranged_flushes() {
+        let es = fresh();
+        let e = es.begin_op();
+        // Same size class, allocated back-to-back from a fresh extent:
+        // word-contiguous by construction.
+        let a = es.p_new(2);
+        let b = es.p_new(2);
+        Header::set_epoch(es.heap(), a, e);
+        Header::set_epoch(es.heap(), b, e);
+        es.p_track(a);
+        es.p_track(b);
+        es.end_op();
+        es.advance();
+        es.advance();
+        let s = es.stats().snapshot();
+        assert_eq!(s.blocks_persisted, 2);
+        assert_eq!(
+            s.coalesced_flushes, 1,
+            "two contiguous blocks merge into one ranged flush"
+        );
+        assert_eq!(es.persisted_frontier(), EPOCH_START);
+        assert_eq!(es.buffered_words(), 0);
     }
 
     /// A full pipeline stalls the *clock* (the advancing thread), never

@@ -90,7 +90,7 @@ mod ticker;
 pub mod trace;
 pub mod watchdog;
 
-pub use config::EpochConfig;
+pub use config::{EpochConfig, MAX_PERSIST_WORKERS};
 pub use error::{HealthState, OpRejected, PersistError, RetireError, SpawnError};
 pub use esys::{
     payload, AdvanceFault, EpochBatch, EpochStats, EpochStatsSnapshot, EpochSys, PreallocSlots,

@@ -63,8 +63,9 @@ pub enum EventKind {
     /// The `nvm-sim` fault plan fired a crash point: `a` = point index,
     /// `b` = crash-point kind code.
     FaultInjected = 6,
-    /// An advance sealed an epoch's buffers into a batch: `a` = unique
-    /// blocks after dedup, `b` = accounted words.
+    /// An advance sealed an epoch's buffers into a batch: `a` = tracked
+    /// entries as sealed (duplicates merge later, at persist intake),
+    /// `b` = accounted words.
     BatchSealed = 7,
     /// The persister finished a batch and published the frontier:
     /// `a` = new frontier epoch, `b` = blocks written back.
@@ -514,6 +515,7 @@ pub struct Obs {
     pub(crate) persist_batch_blocks: LogHistogram,
     pub(crate) batch_persist_ns: LogHistogram,
     pub(crate) durability_lag_ns: LogHistogram,
+    pub(crate) persist_chunks: LogHistogram,
 }
 
 impl Default for Obs {
@@ -541,6 +543,7 @@ impl Obs {
             persist_batch_blocks: LogHistogram::new(),
             batch_persist_ns: LogHistogram::new(),
             durability_lag_ns: LogHistogram::new(),
+            persist_chunks: LogHistogram::new(),
         }
     }
 
@@ -621,6 +624,13 @@ impl Obs {
     pub fn durability_lag_ns(&self) -> &LogHistogram {
         &self.durability_lag_ns
     }
+
+    /// Chunks each batch's flush plan was split into by the persister
+    /// pool (1 = serial write-back; larger = fan-out width actually
+    /// achieved for that batch).
+    pub fn persist_chunks(&self) -> &LogHistogram {
+        &self.persist_chunks
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -649,6 +659,13 @@ pub struct DerivedGauges {
     /// Flight-recorder events lost to ring wrap (see
     /// [`Obs::flight_events_dropped`]).
     pub flight_events_dropped: u64,
+    /// Attached write-back workers: the persister head-count plus the
+    /// pool's chunk workers (0 = everything persists inline).
+    pub persist_workers: u64,
+    /// Cumulative words written back per pool worker slot (slot 0 is
+    /// the coordinator / inline drains; chunk workers fill 1..) — the
+    /// fan-out balance gauge.
+    pub persist_worker_words: [u64; crate::MAX_PERSIST_WORKERS],
 }
 
 /// A histogram snapshot with its identity in the report schema.
@@ -727,6 +744,8 @@ impl MetricsRegistry {
                 durability_lag_max: lag.max,
                 lag_spans_dropped: obs.lag_spans_dropped(),
                 flight_events_dropped: obs.flight_events_dropped(),
+                persist_workers: esys.persist_pool_workers(),
+                persist_worker_words: esys.persist_worker_words(),
             });
             histograms.push(NamedHist {
                 name: "op_latency_ns",
@@ -757,6 +776,11 @@ impl MetricsRegistry {
                 name: "durability_lag_ns",
                 unit: "ns",
                 snap: lag,
+            });
+            histograms.push(NamedHist {
+                name: "persist_chunks",
+                unit: "chunks",
+                snap: obs.persist_chunks.snapshot(),
             });
         }
         MetricsReport {
@@ -794,7 +818,11 @@ pub const METRICS_SERIES_SCHEMA: &str = "bdhtm-metrics-series";
 /// `derived.durability_lag_p50/p99/max`, `derived.lag_spans_dropped`,
 /// and `derived.flight_events_dropped` gauges — pure additions, so
 /// v1/v2 consumers keep parsing.
-pub const METRICS_VERSION: u64 = 3;
+/// v4 added the persister-pool telemetry: the `persist_chunks`
+/// histogram (fan-out width per batch), `epoch.coalesced_flushes`,
+/// and the `derived.persist_workers` /
+/// `derived.persist_worker_words[]` gauges — again pure additions.
+pub const METRICS_VERSION: u64 = 4;
 
 /// Formats an `f64` as a JSON number token (never `NaN`/`inf`, which
 /// JSON forbids — non-finite values degrade to 0).
@@ -883,8 +911,8 @@ impl MetricsReport {
             s.push_str(&format!(
                 ",\"epoch\":{{\"advances\":{},\"blocks_persisted\":{},\"words_persisted\":{},\
                  \"blocks_reclaimed\":{},\"advance_failures\":{},\"backpressure_advances\":{},\
-                 \"pipeline_stalls\":{},\"persist_retries\":{},\"degradations\":{},\
-                 \"watchdog_fires\":{}}}",
+                 \"pipeline_stalls\":{},\"persist_retries\":{},\"coalesced_flushes\":{},\
+                 \"degradations\":{},\"watchdog_fires\":{}}}",
                 e.advances,
                 e.blocks_persisted,
                 e.words_persisted,
@@ -893,6 +921,7 @@ impl MetricsReport {
                 e.backpressure_advances,
                 e.pipeline_stalls,
                 e.persist_retries,
+                e.coalesced_flushes,
                 e.degradations,
                 e.watchdog_fires,
             ));
@@ -913,7 +942,7 @@ impl MetricsReport {
                  \"frontier_lag\":{},\"buffered_words\":{},\"health\":\"{}\",\
                  \"durability_lag_p50\":{},\"durability_lag_p99\":{},\
                  \"durability_lag_max\":{},\"lag_spans_dropped\":{},\
-                 \"flight_events_dropped\":{}}}",
+                 \"flight_events_dropped\":{},\"persist_workers\":{}",
                 d.current_epoch,
                 d.persisted_frontier,
                 d.frontier_lag,
@@ -924,7 +953,16 @@ impl MetricsReport {
                 d.durability_lag_max,
                 d.lag_spans_dropped,
                 d.flight_events_dropped,
+                d.persist_workers,
             ));
+            s.push_str(",\"persist_worker_words\":[");
+            for (i, &w) in d.persist_worker_words.iter().enumerate() {
+                if i != 0 {
+                    s.push(',');
+                }
+                s.push_str(&w.to_string());
+            }
+            s.push_str("]}");
         }
         s.push_str(",\"histograms\":{");
         for (i, h) in self.histograms.iter().enumerate() {

@@ -100,20 +100,25 @@ impl Drop for EpochTicker {
     }
 }
 
-/// Owns the background write-back thread of the persist pipeline.
+/// Owns the background write-back threads of the persist pipeline: one
+/// coordinator draining the batch queue plus the chunk workers of the
+/// persister pool
+/// ([`EpochConfig::persist_workers`](crate::EpochConfig) − 1 of them;
+/// the default auto-sizes from the machine).
 ///
 /// While a persister is attached (and
 /// [`EpochConfig::background_persist`](crate::EpochConfig) is on),
 /// [`EpochSys::advance`](crate::EpochSys::advance) only seals epoch
 /// buffers into an [`EpochBatch`](crate::EpochBatch) and enqueues it;
-/// this thread performs the `persist_range` calls, the fence, the
-/// durable-frontier publish, and reclamation. Same stop/join discipline
-/// as [`EpochTicker`]: stops (and joins) on drop, and drains any queued
-/// batches before exiting so a clean shutdown leaves the frontier at
-/// `clock − 2`.
+/// the coordinator performs the `persist_range` calls — fanning each
+/// batch's flush plan out across the chunk workers — then the fence,
+/// the durable-frontier publish, and reclamation, batch by batch in
+/// epoch order. Same stop/join discipline as [`EpochTicker`]: stops
+/// (and joins) on drop, and drains any queued batches before exiting so
+/// a clean shutdown leaves the frontier at `clock − 2`.
 pub struct Persister {
     stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<()>>,
+    handles: Vec<JoinHandle<()>>,
     esys: Arc<EpochSys>,
 }
 
@@ -132,16 +137,19 @@ impl Persister {
                 eprintln!("bdhtm: {e}; persisting inline on the advancing thread");
                 Persister {
                     stop: Arc::new(AtomicBool::new(true)),
-                    handle: None,
+                    handles: Vec::new(),
                     esys,
                 }
             }
         }
     }
 
-    /// Fallible [`spawn`](Self::spawn). On failure nothing stays
+    /// Fallible [`spawn`](Self::spawn). Errors only if the coordinator
+    /// thread cannot be spawned — on that failure nothing stays
     /// attached (advances keep persisting inline) and the `esys` handle
-    /// is returned alongside the error.
+    /// is returned alongside the error. A chunk-worker spawn failure is
+    /// not an error: the pool just runs narrower (worst case, the
+    /// coordinator writes every chunk itself — the serial behavior).
     #[allow(clippy::result_large_err)]
     pub fn try_spawn(esys: Arc<EpochSys>) -> Result<Persister, (Arc<EpochSys>, SpawnError)> {
         let stop = Arc::new(AtomicBool::new(false));
@@ -195,26 +203,53 @@ impl Persister {
                 // health downgrade that retires the worker): drained.
                 esys2.detach_persister();
             });
-        match handle {
-            Ok(handle) => Ok(Persister {
-                stop,
-                handle: Some(handle),
-                esys,
-            }),
+        let coordinator = match handle {
+            Ok(handle) => handle,
             Err(error) => {
                 esys.detach_persister();
-                Err((
+                return Err((
                     esys,
                     SpawnError {
                         worker: "persister",
                         error,
                     },
-                ))
+                ));
+            }
+        };
+        let mut handles = vec![coordinator];
+        // The rest of the pool: chunk workers the coordinator fans each
+        // batch's flush plan out to.
+        let extra = esys.config().effective_persist_workers().saturating_sub(1);
+        for i in 0..extra {
+            let slot = esys.attach_chunk_worker();
+            let esys2 = Arc::clone(&esys);
+            let stop2 = Arc::clone(&stop);
+            match std::thread::Builder::new()
+                .name(format!("bdhtm-persist-{}", i + 1))
+                .spawn(move || esys2.chunk_worker_loop(slot, &stop2))
+            {
+                Ok(h) => handles.push(h),
+                Err(error) => {
+                    esys.detach_chunk_worker();
+                    eprintln!(
+                        "bdhtm: failed to spawn persist chunk worker: {error}; \
+                         continuing with {} of {} pool threads",
+                        handles.len(),
+                        extra + 1
+                    );
+                    break;
+                }
             }
         }
+        Ok(Persister {
+            stop,
+            handles,
+            esys,
+        })
     }
 
-    /// Stops the persister after it drains the queue, and joins it.
+    /// Stops the pool after the coordinator drains the queue, and joins
+    /// every thread.
     pub fn stop(mut self) {
         self.stop_inner();
     }
@@ -222,7 +257,7 @@ impl Persister {
     fn stop_inner(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         self.esys.notify_persisters();
-        if let Some(h) = self.handle.take() {
+        for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }

@@ -17,6 +17,11 @@
 //! * **Wedged persister** ([`STALL_PERSISTER`]) — sealed batches stayed
 //!   in flight while the durable frontier did not move: the write-back
 //!   worker is stuck and durability is no longer advancing.
+//! * **Wedged pool fan-out** ([`STALL_POOL`]) — a batch's chunk fan-out
+//!   kept pending chunks across the whole period with no frontier
+//!   progress: a chunk worker (or the coordinator's join) is stuck
+//!   inside one batch, a finer-grained shape than the whole-persister
+//!   stall and reported first so the log points at the pool.
 //!
 //! Each firing dumps the flight recorder to stderr, bumps the
 //! `watchdog_fires` counter and emits a
@@ -39,6 +44,8 @@ pub const STALL_ADVANCE: u64 = 0;
 pub const STALL_STRAGGLER: u64 = 1;
 /// See [`STALL_ADVANCE`].
 pub const STALL_PERSISTER: u64 = 2;
+/// See [`STALL_ADVANCE`].
+pub const STALL_POOL: u64 = 3;
 
 /// How far an attached [`Watchdog`] may escalate on consecutive
 /// firings. The ladder below the ceiling always runs: a `FailStop`
@@ -62,6 +69,7 @@ struct Sample {
     clock: u64,
     frontier: u64,
     in_flight: usize,
+    pool_pending: usize,
     buffered: u64,
     announce: Vec<u64>,
 }
@@ -72,6 +80,7 @@ impl Sample {
             clock: esys.current_epoch(),
             frontier: esys.persisted_frontier(),
             in_flight: esys.batches_in_flight(),
+            pool_pending: esys.pool_pending(),
             buffered: esys.buffered_words(),
             announce: esys.announced_epochs(),
         }
@@ -81,6 +90,12 @@ impl Sample {
 /// Compares two consecutive samples; `Some(reason)` when no progress
 /// shape explains the standstill.
 fn detect_stall(prev: &Sample, cur: &Sample, backpressure_bound: u64) -> Option<u64> {
+    // Wedged pool fan-out: one batch's chunks stayed pending across the
+    // whole period with no durability progress. Checked before the
+    // coarser persister shape so the report names the stuck layer.
+    if prev.pool_pending > 0 && cur.pool_pending > 0 && cur.frontier == prev.frontier {
+        return Some(STALL_POOL);
+    }
     // Wedged persister: batches stayed in flight across the whole
     // period and durability did not advance.
     if prev.in_flight > 0 && cur.in_flight > 0 && cur.frontier == prev.frontier {
@@ -114,6 +129,7 @@ fn reason_str(reason: u64) -> &'static str {
         STALL_ADVANCE => "stalled epoch advance",
         STALL_STRAGGLER => "hung straggler quiesce",
         STALL_PERSISTER => "wedged persister",
+        STALL_POOL => "wedged pool fan-out",
         _ => "unknown stall",
     }
 }
@@ -250,9 +266,22 @@ mod tests {
             clock,
             frontier,
             in_flight,
+            pool_pending: 0,
             buffered,
             announce: vec![EMPTY_EPOCH; 4],
         }
+    }
+
+    #[test]
+    fn wedged_pool_fanout_detected_before_persister_shape() {
+        let mut a = sample(10, 8, 2, 0);
+        let mut b = sample(11, 8, 1, 0);
+        a.pool_pending = 3;
+        b.pool_pending = 1; // still stuck inside one batch's fan-out
+        assert_eq!(detect_stall(&a, &b, 0), Some(STALL_POOL));
+        // Fan-out drained between samples: the coarser shape reports.
+        b.pool_pending = 0;
+        assert_eq!(detect_stall(&a, &b, 0), Some(STALL_PERSISTER));
     }
 
     #[test]

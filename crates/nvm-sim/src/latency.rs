@@ -2,7 +2,17 @@
 
 use std::time::Instant;
 
-/// Spins for approximately `ns` nanoseconds. Used to charge NVM costs
+/// Spins above this length yield the core between deadline checks
+/// instead of burning it. Device latency is a *wall-clock* deadline,
+/// not CPU work: two threads flushing concurrently on real hardware
+/// overlap their waits, and yielding preserves that overlap even when
+/// the host has fewer cores than flushing threads (a pure busy wait
+/// would serialize the semantically concurrent latencies). Sub-µs
+/// spins keep the busy loop — a yield syscall costs about as much as
+/// the whole wait and would wreck their precision.
+const YIELD_SPIN_NS: u64 = 5_000;
+
+/// Waits for approximately `ns` nanoseconds. Used to charge NVM costs
 /// (media reads, write-backs, fences) on the calling thread, so the
 /// latency lands on the critical path exactly where real hardware would
 /// put it. A no-op when `ns == 0`.
@@ -13,7 +23,11 @@ pub fn spin_ns(ns: u64) {
     }
     let start = Instant::now();
     while (start.elapsed().as_nanos() as u64) < ns {
-        std::hint::spin_loop();
+        if ns >= YIELD_SPIN_NS {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
     }
 }
 

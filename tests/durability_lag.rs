@@ -190,9 +190,12 @@ fn lag_accounting_stays_coherent_through_degraded_and_failed() {
         "spans parked behind the frozen frontier must not be counted durable"
     );
 
-    // A Failed system still produces a parseable v3 report.
+    // A Failed system still produces a parseable report.
     let doc = JsonValue::parse(&report.to_json()).expect("report JSON parses");
-    assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(
+        doc.get("version").and_then(|v| v.as_u64()),
+        Some(bd_htm::bdhtm_core::METRICS_VERSION)
+    );
     assert_eq!(
         doc.get("derived")
             .and_then(|d| d.get("health"))

@@ -77,7 +77,10 @@ fn json_round_trips_through_the_parser() {
         doc.get("schema").and_then(|v| v.as_str()),
         Some("bdhtm-metrics")
     );
-    assert_eq!(doc.get("version").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(
+        doc.get("version").and_then(|v| v.as_u64()),
+        Some(bd_htm::bdhtm_core::METRICS_VERSION)
+    );
 
     // Counters survive serialization exactly.
     let h = report.htm.unwrap();
@@ -150,6 +153,30 @@ fn json_round_trips_through_the_parser() {
             .and_then(|h| h.get("durability_lag_ns"))
             .is_some(),
         "v3 report carries the durability lag histogram"
+    );
+
+    // v4 additions: persister-pool telemetry.
+    assert_eq!(
+        epoch.get("coalesced_flushes").and_then(|v| v.as_u64()),
+        Some(e.coalesced_flushes)
+    );
+    assert_eq!(
+        derived.get("persist_workers").and_then(|v| v.as_u64()),
+        Some(d.persist_workers)
+    );
+    let worker_words = derived
+        .get("persist_worker_words")
+        .and_then(|v| v.as_arr())
+        .expect("per-worker words array present");
+    assert_eq!(worker_words.len(), bd_htm::bdhtm_core::MAX_PERSIST_WORKERS);
+    for (json_w, &w) in worker_words.iter().zip(d.persist_worker_words.iter()) {
+        assert_eq!(json_w.as_u64(), Some(w));
+    }
+    assert!(
+        doc.get("histograms")
+            .and_then(|h| h.get("persist_chunks"))
+            .is_some(),
+        "v4 report carries the chunk fan-out histogram"
     );
 
     // Histogram bucket lists carry the full count.
