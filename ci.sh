@@ -20,6 +20,19 @@ with_timeout() {
 echo "==> cargo test -q"
 with_timeout 1800 cargo test -q --workspace
 
+echo "==> chaos stress gate (formerly-quarantined skiplist workloads)"
+# The two historically flaky concurrent skiplist tests (DL and BDL mixed
+# ops), now un-quarantined (DESIGN.md §5.3), run 200 iterations under seeded
+# deterministic-interleaving schedules (htm_sim::chaos). Split into four
+# 50-iteration processes: thread ids are dense process-lifetime values
+# with a budget of 1024, and every iteration spawns a fresh worker set.
+# A failure prints the seed and the recorded schedule tail; replay with
+#   ./target/release/chaos_stress --iters 1 --seed-base <seed>
+for base in 0xC4A05EED 0xC4A05F1F 0xC4A05F51 0xC4A05F83; do
+    with_timeout 900 ./target/release/chaos_stress \
+        --iters 50 --seed-base "$base" --watchdog-secs 120
+done
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 

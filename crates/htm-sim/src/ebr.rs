@@ -12,6 +12,7 @@
 //! threads do not constrain collection. Collection is attempted when a
 //! thread fully unpins, so garbage is bounded by the longest pin.
 
+use crate::chaos;
 use crate::sync::{CachePadded, Mutex};
 use crate::tid::{max_threads, thread_id};
 use std::cell::Cell;
@@ -27,6 +28,11 @@ struct Registry {
     epoch: CachePadded<AtomicU64>,
     slots: Box<[CachePadded<AtomicU64>]>,
     garbage: Mutex<Vec<(u64, Deferred)>>,
+    /// Number of entries in `garbage`, readable without the lock. Updated
+    /// under the lock (so it never under-counts while a defer is midway),
+    /// read by [`Registry::collect`] to skip the epoch advance and the
+    /// full slot scan on the overwhelmingly common no-garbage unpin.
+    pending: CachePadded<AtomicU64>,
 }
 
 impl Registry {
@@ -38,6 +44,7 @@ impl Registry {
                 .map(|_| CachePadded::new(AtomicU64::new(UNPINNED)))
                 .collect(),
             garbage: Mutex::new(Vec::new()),
+            pending: CachePadded::new(AtomicU64::new(0)),
         })
     }
 
@@ -51,8 +58,18 @@ impl Registry {
     }
 
     fn collect(&self) {
+        // Fast path: nothing deferred anywhere, so advancing the epoch
+        // and scanning every announcement slot would be pure overhead.
+        // `pending` is published under the garbage lock before the unpin
+        // store that leads here, so a deferral by *this* thread is always
+        // visible; one deferred concurrently by another thread is that
+        // thread's to collect when it unpins.
+        if self.pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
         // Advance the epoch so garbage deferred under the current epoch
         // becomes collectable once every pinned reader moves past it.
+        chaos::point("ebr::collect_advance");
         self.epoch.fetch_add(1, Ordering::SeqCst);
         let horizon = self.min_pinned();
         let ready: Vec<Deferred> = {
@@ -68,8 +85,12 @@ impl Registry {
                     i += 1;
                 }
             }
+            self.pending.store(g.len() as u64, Ordering::SeqCst);
             ready
         };
+        if !ready.is_empty() {
+            chaos::point("ebr::reclaim");
+        }
         for f in ready {
             f();
         }
@@ -99,6 +120,7 @@ pub fn pin() -> Guard {
             let mut e = reg.epoch.load(Ordering::SeqCst);
             loop {
                 slot.store(e, Ordering::SeqCst);
+                chaos::point("ebr::pin_announce");
                 let again = reg.epoch.load(Ordering::SeqCst);
                 if again == e {
                     break;
@@ -117,8 +139,11 @@ impl Guard {
     /// Defers `f` until every currently pinned thread unpins.
     pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
         let reg = Registry::global();
+        chaos::point("ebr::defer");
         let e = reg.epoch.load(Ordering::SeqCst);
-        reg.garbage.lock().push((e, Box::new(f)));
+        let mut g = reg.garbage.lock();
+        g.push((e, Box::new(f)));
+        reg.pending.store(g.len() as u64, Ordering::SeqCst);
     }
 
     /// Like [`Guard::defer`] without the `Send + 'static` bounds.
@@ -133,8 +158,11 @@ impl Guard {
         let boxed: Box<dyn FnOnce()> = Box::new(f);
         let erased: Deferred = unsafe { std::mem::transmute(boxed) };
         let reg = Registry::global();
+        chaos::point("ebr::defer");
         let e = reg.epoch.load(Ordering::SeqCst);
-        reg.garbage.lock().push((e, erased));
+        let mut g = reg.garbage.lock();
+        g.push((e, erased));
+        reg.pending.store(g.len() as u64, Ordering::SeqCst);
     }
 
     /// Eagerly attempts a collection cycle (testing hook).
@@ -176,6 +204,30 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(ran.load(Ordering::SeqCst), want, "garbage never collected");
+    }
+
+    #[test]
+    fn collect_without_garbage_skips_epoch_advance() {
+        let reg = Registry::global();
+        // Other tests in this binary may defer garbage concurrently, so
+        // only score iterations where the pending counter stayed zero.
+        let mut clean_observations = 0;
+        for _ in 0..1000 {
+            if reg.pending.load(Ordering::SeqCst) != 0 {
+                drop(pin()); // help drain, then retry
+                continue;
+            }
+            let before = reg.epoch.load(Ordering::SeqCst);
+            drop(pin());
+            let after = reg.epoch.load(Ordering::SeqCst);
+            if reg.pending.load(Ordering::SeqCst) == 0 && after == before {
+                clean_observations += 1;
+                if clean_observations >= 10 {
+                    return;
+                }
+            }
+        }
+        panic!("garbage-free unpins kept advancing the epoch");
     }
 
     #[test]

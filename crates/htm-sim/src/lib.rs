@@ -53,6 +53,7 @@
 //! ```
 
 mod access;
+pub mod chaos;
 mod config;
 pub mod ebr;
 mod fallback;

@@ -23,7 +23,7 @@ pub struct SplitMix64 {
 }
 
 impl SplitMix64 {
-    pub fn new(seed: u64) -> Self {
+    pub const fn new(seed: u64) -> Self {
         SplitMix64 { state: seed }
     }
 

@@ -1,6 +1,7 @@
 //! Descriptor-based MwCAS / PMwCAS (Wang et al., ICDE 2018) with helping
 //! and post-crash roll-forward / roll-back.
 
+use htm_sim::chaos;
 use htm_sim::sync::Mutex;
 use nvm_sim::{NvmAddr, NvmHeap};
 use persist_alloc::{Header, PAlloc, HDR_WORDS};
@@ -73,8 +74,20 @@ fn st_seq(word: u64) -> u64 {
 
 /// Bit 63 marks a word as holding a descriptor pointer.
 const MARK: u64 = 1 << 63;
+/// Bit 62 additionally marks an *intermediate* (conditional) install:
+/// an RDCSS-style placeholder that is promoted to the full marker only
+/// while the operation's status is still `(seq, PENDING)`. A decided or
+/// recycled operation's placeholder is rolled back to the displaced old
+/// value instead — so a late helper can never (re)install a full marker
+/// for an operation that already completed, which is the race that
+/// produced both the leaked-marker hang and the duplicate-application
+/// value corruption (see DESIGN.md).
+const RD: u64 = 1 << 62;
 const SEQ_SHIFT: u32 = 48;
-const SEQ_MASK: u64 = 0x7FFF;
+/// 14-bit sequence tag (bit 62 now carries [`RD`]). Wraps at 16384:
+/// like the original 15-bit tag this is an ABA bound, not a proof —
+/// documented in the memory-ordering inventory.
+const SEQ_MASK: u64 = 0x3FFF;
 const ADDR_MASK: u64 = (1 << SEQ_SHIFT) - 1;
 
 #[inline]
@@ -84,10 +97,16 @@ fn marked(desc: NvmAddr, seq: u64) -> u64 {
 }
 
 #[inline]
+fn rd_marked(desc: NvmAddr, seq: u64) -> u64 {
+    marked(desc, seq) | RD
+}
+
+#[inline]
 fn is_marked(v: u64) -> bool {
     v & MARK != 0
 }
 
+/// Decodes either marker flavor; [`RD`] sits outside both fields.
 #[inline]
 fn unmark(v: u64) -> (NvmAddr, u64) {
     (NvmAddr(v & ADDR_MASK), (v >> SEQ_SHIFT) & SEQ_MASK)
@@ -162,6 +181,16 @@ impl MwCasPool {
         let desc = self.my_descriptor();
         let h = &*self.heap;
 
+        // Quiesce helpers from the *previous* operation before touching
+        // a single descriptor word. A helper that validated the old
+        // sequence holds a snapshot of the old triples; rewriting them
+        // while it is still counted would let it act on torn state. The
+        // drain below (after FREE) bounds how long this wait can be.
+        while h.word(pw(desc, D_HELPERS)).load(Ordering::SeqCst) != 0 {
+            std::thread::yield_now();
+        }
+        chaos::point("mwcas::reinit");
+
         // Initialize the descriptor with a fresh sequence number and the
         // targets in canonical (address) order.
         let seq = (h.word(pw(desc, D_SEQ)).load(Ordering::Acquire) + 1) & SEQ_MASK;
@@ -189,14 +218,26 @@ impl MwCasPool {
 
         let committed = self.help_inner(desc, seq, persist);
 
-        // Release the descriptor for reuse (recovery ignores FREE ones)
-        // and quiesce: no helper may still be acting on this sequence
-        // when the next operation reinitializes the descriptor.
-        h.write(pw(desc, D_STATUS), st_word(seq, ST_FREE));
+        // Release the descriptor for reuse (recovery ignores FREE ones).
+        // A CAS from the decided status, not a blind store: the FREE
+        // transition participates in the same SeqCst RMW total order the
+        // helpers' status gates read, so a helper that still observes
+        // PENDING is ordered before this release — and the owner's
+        // `help_inner` can only have returned with status decided.
+        chaos::point("mwcas::release");
+        let decided = st_word(seq, if committed { ST_COMMITTED } else { ST_FAILED });
+        let released = h
+            .cas(pw(desc, D_STATUS), decided, st_word(seq, ST_FREE))
+            .is_ok();
+        debug_assert!(released, "owner must win the FREE transition");
         if persist {
             h.clwb(pw(desc, D_STATUS));
             h.fence();
         }
+        // Drain again after FREE: helpers that raced past the gate will
+        // observe FREE, sweep their markers, and exit; no helper may
+        // still be acting on this sequence when the next operation
+        // reinitializes the descriptor.
         while h.word(pw(desc, D_HELPERS)).load(Ordering::SeqCst) != 0 {
             std::thread::yield_now();
         }
@@ -208,6 +249,7 @@ impl MwCasPool {
     fn help(&self, desc: NvmAddr, seq: u64, persist: bool) -> bool {
         let ctr = self.heap.word(pw(desc, D_HELPERS));
         ctr.fetch_add(1, Ordering::SeqCst);
+        chaos::point("mwcas::help_enter");
         let r = self.help_inner(desc, seq, persist);
         ctr.fetch_sub(1, Ordering::SeqCst);
         r
@@ -217,26 +259,69 @@ impl MwCasPool {
     /// Reentrant: called by the owner (directly) and by helping threads
     /// (through [`MwCasPool::help`]). Returns whether the operation
     /// committed.
+    ///
+    /// The contract that keeps helping safe (root-caused with the chaos
+    /// harness; DESIGN.md has the full inventory):
+    ///
+    /// 1. The triples are *snapshotted* first and the sequence number
+    ///    validated after — the owner publishes `D_SEQ` before any other
+    ///    word of a new operation, so a snapshot that read any newer
+    ///    word fails the validation and bails before acting.
+    /// 2. Every install is *conditional* (an [`RD`] placeholder promoted
+    ///    only while status is `(seq, PENDING)`), so no full marker is
+    ///    ever (re)installed for a decided operation.
+    /// 3. Every exit path taken after validation either finalizes the
+    ///    operation (phase 2b) or [`MwCasPool::sweep`]s — a helper never
+    ///    leaves its own marker behind, which is what used to hang
+    ///    `read` forever on a descriptor that no longer helps.
     fn help_inner(&self, desc: NvmAddr, seq: u64, persist: bool) -> bool {
         let h = &*self.heap;
         let me = marked(desc, seq);
-        let check_seq = || (h.word(pw(desc, D_SEQ)).load(Ordering::Acquire) & SEQ_MASK) == seq;
-        let count = h.word(pw(desc, D_COUNT)).load(Ordering::Acquire) as usize;
+        let rdv = rd_marked(desc, seq);
+        let status_w = pw(desc, D_STATUS);
+
+        // Snapshot the descriptor payload, then validate the sequence.
+        let count = (h.word(pw(desc, D_COUNT)).load(Ordering::Acquire) as usize).min(MAX_TARGETS);
+        let mut snap = [MwTarget {
+            addr: NvmAddr(0),
+            old: 0,
+            new: 0,
+        }; MAX_TARGETS];
+        for (i, t) in snap.iter_mut().enumerate().take(count) {
+            let base = D_TRIPLES + 3 * i as u64;
+            t.addr = NvmAddr(h.word(pw(desc, base)).load(Ordering::Acquire));
+            t.old = h.word(pw(desc, base + 1)).load(Ordering::Acquire);
+            t.new = h.word(pw(desc, base + 2)).load(Ordering::Acquire);
+        }
+        if (h.word(pw(desc, D_SEQ)).load(Ordering::SeqCst) & SEQ_MASK) != seq {
+            return false; // recycled before we read a consistent payload
+        }
+        let triples = &snap[..count];
 
         // Phase 1: install the marked pointer in every target, in order.
         let mut status_goal = ST_COMMITTED;
-        'install: for i in 0..count.min(MAX_TARGETS) {
-            let base = D_TRIPLES + 3 * i as u64;
-            let addr = NvmAddr(h.word(pw(desc, base)).load(Ordering::Acquire));
-            let old = h.word(pw(desc, base + 1)).load(Ordering::Acquire);
+        'install: for t in triples {
             loop {
-                if !check_seq() {
-                    // The owner finished and recycled the descriptor.
+                // Status gate: never begin an install for an operation
+                // that is already decided. SeqCst so this load sits in
+                // the same total order as the decide/release RMWs.
+                let st = h.word(status_w).load(Ordering::SeqCst);
+                if st_seq(st) != seq || st_code(st) == ST_FREE {
+                    self.sweep(triples, me, rdv);
                     return false;
                 }
-                let cur = h.word(addr).load(Ordering::Acquire);
+                if st_code(st) != ST_PENDING {
+                    break 'install; // decided: go finalize
+                }
+                chaos::point("mwcas::install");
+                let cur = h.word(t.addr).load(Ordering::Acquire);
                 if cur == me {
                     break; // installed (possibly by a helper)
+                }
+                if cur == rdv {
+                    // Our operation's placeholder: resolve it.
+                    self.complete_install(status_w, seq, t, me, rdv, persist);
+                    continue;
                 }
                 if is_marked(cur) {
                     // Help the conflicting operation first.
@@ -244,18 +329,16 @@ impl MwCasPool {
                     self.help(other, oseq, persist);
                     continue;
                 }
-                if cur != old {
-                    // Either a competitor changed the word (we fail) or
-                    // our operation already completed (status decides).
+                if cur != t.old {
+                    // A competitor changed the word: we fail.
                     status_goal = ST_FAILED;
                     break 'install;
                 }
-                if h.cas(addr, old, me).is_ok() {
-                    if persist {
-                        h.clwb(addr);
-                        h.fence();
-                    }
-                    break;
+                if h.cas(t.addr, t.old, rdv).is_ok() {
+                    chaos::point("mwcas::installed");
+                    self.complete_install(status_w, seq, t, me, rdv, persist);
+                    // Loop: sees `me` if promoted, or re-gates if the
+                    // operation got decided while we installed.
                 }
             }
         }
@@ -263,40 +346,77 @@ impl MwCasPool {
         // Phase 2a: decide. A single CAS publishes the outcome; whoever
         // loses the race reads the winner's verdict. The expected value
         // carries `seq`, so a CAS against a recycled descriptor misses.
-        let status_w = pw(desc, D_STATUS);
+        chaos::point("mwcas::decide");
         let _ = h.cas(
             status_w,
             st_word(seq, ST_PENDING),
             st_word(seq, status_goal),
         );
-        let status = h.word(status_w).load(Ordering::Acquire);
+        let status = h.word(status_w).load(Ordering::SeqCst);
         if st_seq(status) != seq || st_code(status) == ST_FREE {
-            return false; // recycled under us
+            self.sweep(triples, me, rdv);
+            return false; // recycled under us: undo anything we left
         }
         if persist {
             h.clwb(status_w);
             h.fence();
         }
         let committed = st_code(status) == ST_COMMITTED;
+        chaos::point("mwcas::finalize");
 
-        // Phase 2b: replace every installed marker with its final value.
-        for i in 0..count.min(MAX_TARGETS) {
-            let base = D_TRIPLES + 3 * i as u64;
-            let addr = NvmAddr(h.word(pw(desc, base)).load(Ordering::Acquire));
-            let old = h.word(pw(desc, base + 1)).load(Ordering::Acquire);
-            let new = h.word(pw(desc, base + 2)).load(Ordering::Acquire);
-            if !check_seq() {
-                return committed;
+        // Phase 2b: replace every installed marker with its final value,
+        // from the validated snapshot. A placeholder found here belongs
+        // to an install that lost the decision race: roll it back.
+        for t in triples {
+            let finalv = if committed { t.new } else { t.old };
+            if h.cas(t.addr, me, finalv).is_ok() && persist {
+                h.clwb(t.addr);
             }
-            let finalv = if committed { new } else { old };
-            if h.cas(addr, me, finalv).is_ok() && persist {
-                h.clwb(addr);
-            }
+            let _ = h.cas(t.addr, rdv, t.old);
         }
         if persist {
             h.fence();
         }
         committed
+    }
+
+    /// Completes a conditional install: promotes the placeholder to the
+    /// full marker if the operation is still `(seq, PENDING)`, restores
+    /// the displaced old value otherwise. Idempotent and safe to race:
+    /// whichever resolution wins, the other CAS misses.
+    fn complete_install(
+        &self,
+        status_w: NvmAddr,
+        seq: u64,
+        t: &MwTarget,
+        me: u64,
+        rdv: u64,
+        persist: bool,
+    ) {
+        let h = &*self.heap;
+        let st = h.word(status_w).load(Ordering::SeqCst);
+        if st == st_word(seq, ST_PENDING) {
+            if h.cas(t.addr, rdv, me).is_ok() && persist {
+                h.clwb(t.addr);
+                h.fence();
+            }
+        } else {
+            let _ = h.cas(t.addr, rdv, t.old);
+        }
+    }
+
+    /// Removes every marker (placeholder or promoted) this operation may
+    /// still hold in its targets, restoring the snapshot's old values.
+    /// Called on every post-validation bail path so a helper that raced
+    /// the owner's release can never strand a marker — the failure mode
+    /// behind the quarantined hang.
+    fn sweep(&self, triples: &[MwTarget], me: u64, rdv: u64) {
+        chaos::point("mwcas::sweep");
+        let h = &*self.heap;
+        for t in triples {
+            let _ = h.cas(t.addr, rdv, t.old);
+            let _ = h.cas(t.addr, me, t.old);
+        }
     }
 
     /// Resolves a word to its logical value, helping any in-flight
@@ -307,6 +427,7 @@ impl MwCasPool {
             if !is_marked(v) {
                 return v;
             }
+            chaos::point("mwcas::read_help");
             let (desc, seq) = unmark(v);
             self.help(desc, seq, false);
         }
@@ -334,6 +455,7 @@ impl MwCasPool {
                 continue;
             }
             let me = marked(desc, seq);
+            let rdv = rd_marked(desc, seq);
             let count = heap.word(pw(desc, D_COUNT)).load(Ordering::Acquire) as usize;
             let commit = st_code(status) == ST_COMMITTED;
             for i in 0..count.min(MAX_TARGETS) {
@@ -344,6 +466,12 @@ impl MwCasPool {
                 let cur = heap.word(addr).load(Ordering::Acquire);
                 if cur == me {
                     heap.write(addr, if commit { new } else { old });
+                    heap.clwb(addr);
+                } else if cur == rdv {
+                    // A placeholder never counted toward the decision:
+                    // the displaced old value is the logical one, even
+                    // for a committed operation (late install).
+                    heap.write(addr, old);
                     heap.clwb(addr);
                 }
             }

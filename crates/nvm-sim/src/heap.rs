@@ -294,11 +294,16 @@ impl NvmHeap {
     #[inline]
     pub fn cas(&self, addr: NvmAddr, old: u64, new: u64) -> Result<u64, u64> {
         self.stats.record_cas();
+        // SeqCst, not AcqRel: the MwCAS helping protocol's correctness
+        // argument (DESIGN.md memory-ordering inventory) chains its
+        // status reads through the single total order of these RMWs; on
+        // x86 a `lock cmpxchg` is sequentially consistent either way, so
+        // the stronger ordering costs nothing.
         let r = self.volatile[addr.0 as usize].compare_exchange(
             old,
             new,
-            Ordering::AcqRel,
-            Ordering::Acquire,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
         );
         if r.is_ok() {
             self.dirty[addr.line() as usize].store(1, Ordering::Release);

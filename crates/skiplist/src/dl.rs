@@ -9,6 +9,7 @@
 //! backward by [`DlSkiplist::recover`].
 
 use crate::{random_level, MAX_LEVEL};
+use htm_sim::chaos;
 use htm_sim::ebr;
 use htm_sim::sync::Mutex;
 use htm_sim::thread_id;
@@ -209,6 +210,7 @@ impl DlSkiplist {
                 loop {
                     let Some(nxt) = self.next_of(pred, lvl) else {
                         // Predecessor was unlinked under us.
+                        chaos::point("dl::find_restart");
                         continue 'restart;
                     };
                     if nxt != 0 && self.key_of(NvmAddr(nxt)) < key {
@@ -277,6 +279,7 @@ impl DlSkiplist {
             let targets: Vec<MwTarget> = (0..level)
                 .map(|i| MwTarget::new(self.pw(preds[i], P_NEXT + i as u64), succs[i], node.0))
                 .collect();
+            chaos::point("dl::link_cas");
             if self.do_cas(&targets) {
                 drop(guard);
                 return true;
@@ -334,10 +337,14 @@ impl DlSkiplist {
                     TOMB,
                 ));
             }
+            chaos::point("dl::unlink_cas");
             if self.do_cas(&targets) {
                 // Quarantine the node until no reader can still hold it.
                 let alloc = Arc::clone(&self.alloc);
-                guard.defer(move || alloc.free(node));
+                guard.defer(move || {
+                    chaos::point("dl::free");
+                    alloc.free(node);
+                });
                 drop(guard);
                 return true;
             }
@@ -420,7 +427,6 @@ mod tests {
     use super::*;
     use nvm_sim::NvmConfig;
     use std::collections::BTreeMap;
-    use std::sync::atomic::Ordering::SeqCst;
 
     fn list(mode: PersistMode) -> DlSkiplist {
         DlSkiplist::new(Arc::new(NvmHeap::new(NvmConfig::for_tests(32 << 20))), mode)
@@ -496,74 +502,12 @@ mod tests {
 
     #[test]
     fn concurrent_mixed_ops_keep_per_key_invariant() {
-        // Historically flaky under scheduler pressure: quarantined so a
-        // hang fails fast and a lost race retries on fresh lists.
-        crate::quarantine::run_quarantined(
-            "dl::concurrent_mixed_ops_keep_per_key_invariant",
-            3,
-            std::time::Duration::from_secs(120),
-            |q| {
-                // Hang diagnostic: DL has no epoch system (and so no
-                // flight recorder) — report which persist-mode phase
-                // wedged and how far each worker got instead. A stuck
-                // MWCAS or flush shows up as one counter frozen short
-                // of 2000 while the others finished.
-                let phase = Arc::new(std::sync::atomic::AtomicUsize::new(0));
-                let progress: Arc<[std::sync::atomic::AtomicU64; 4]> =
-                    Arc::new(std::array::from_fn(|_| {
-                        std::sync::atomic::AtomicU64::new(0)
-                    }));
-                {
-                    let (phase, progress) = (Arc::clone(&phase), Arc::clone(&progress));
-                    q.on_hang(move || {
-                        let modes = ["Strict", "HtmMwcas"];
-                        eprintln!("  phase: PersistMode::{}", modes[phase.load(SeqCst).min(1)]);
-                        for (t, ops) in progress.iter().enumerate() {
-                            eprintln!("  worker {t}: {} / 2000 ops", ops.load(SeqCst));
-                        }
-                    });
-                }
-                for (mi, mode) in [PersistMode::Strict, PersistMode::HtmMwcas]
-                    .into_iter()
-                    .enumerate()
-                {
-                    phase.store(mi, SeqCst);
-                    for p in progress.iter() {
-                        p.store(0, SeqCst);
-                    }
-                    let l = Arc::new(list(mode));
-                    std::thread::scope(|s| {
-                        for t in 0..4u64 {
-                            let l = Arc::clone(&l);
-                            let progress = Arc::clone(&progress);
-                            s.spawn(move || {
-                                let mut rng = t * 31 + 1;
-                                for _ in 0..2000 {
-                                    progress[t as usize].fetch_add(1, SeqCst);
-                                    rng ^= rng >> 12;
-                                    rng ^= rng << 25;
-                                    rng ^= rng >> 27;
-                                    let k = rng % 128;
-                                    match rng % 3 {
-                                        0 => {
-                                            l.insert(k, k.wrapping_mul(13) & !(1 << 63));
-                                        }
-                                        1 => {
-                                            l.remove(k);
-                                        }
-                                        _ => {
-                                            if let Some(v) = l.get(k) {
-                                                assert_eq!(v, k.wrapping_mul(13) & !(1 << 63));
-                                            }
-                                        }
-                                    }
-                                }
-                            });
-                        }
-                    });
-                }
-            },
-        );
+        // Formerly quarantined (PR 4): the underlying MwCAS helping races
+        // are fixed and root-caused in mwcas/src/descriptor.rs; the
+        // workload now runs unwrapped here and, under seeded chaos
+        // schedules, in the `chaos_stress` CI gate.
+        crate::stress::dl_mixed_ops(PersistMode::Strict, 4, 2000, 128);
+        crate::stress::dl_mixed_ops(PersistMode::HtmMwcas, 4, 2000, 128);
     }
 
     #[test]

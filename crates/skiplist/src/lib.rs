@@ -30,6 +30,7 @@ mod bdl;
 mod dl;
 #[cfg(test)]
 mod quarantine;
+pub mod stress;
 
 pub use bdl::{BdlSkiplist, SKIP_KV_TAG};
 pub use dl::{DlSkiplist, PersistMode};

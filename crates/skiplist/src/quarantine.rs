@@ -34,10 +34,12 @@ where
     F: Fn(&Quarantine) + Send + Sync + 'static,
 {
     let body = Arc::new(body);
+    let mut last_q: Option<Arc<Quarantine>> = None;
     for attempt in 1..=attempts {
         let q = Arc::new(Quarantine {
             dump: Mutex::new(None),
         });
+        last_q = Some(Arc::clone(&q));
         let (tx, rx) = mpsc::channel();
         let (b, q2) = (Arc::clone(&body), Arc::clone(&q));
         let owned_name = name.to_string();
@@ -80,5 +82,45 @@ where
             }
         }
     }
+    // Exhausted retries: this path used to panic without running the
+    // registered diagnostic, so a repeatedly *panicking* (rather than
+    // hanging) body failed with no flight-recorder output at all.
+    if let Some(q) = last_q {
+        if let Some(dump) = q.dump.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            eprintln!("quarantine {name}: diagnostic from final failed attempt:");
+            dump();
+        }
+    }
     panic!("quarantine {name}: all {attempts} attempts failed");
+}
+
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+    #[test]
+    fn final_failure_runs_registered_diagnostic() {
+        static DUMPED: AtomicBool = AtomicBool::new(false);
+        static ATTEMPTS: AtomicU32 = AtomicU32::new(0);
+        let result = std::panic::catch_unwind(|| {
+            run_quarantined(
+                "always-panics",
+                2,
+                Duration::from_secs(10),
+                |q: &Quarantine| {
+                    ATTEMPTS.fetch_add(1, Ordering::SeqCst);
+                    q.on_hang(|| {
+                        DUMPED.store(true, Ordering::SeqCst);
+                    });
+                    panic!("deliberate failure");
+                },
+            );
+        });
+        assert!(result.is_err(), "exhausting retries must fail the test");
+        assert_eq!(ATTEMPTS.load(Ordering::SeqCst), 2, "must retry twice");
+        assert!(
+            DUMPED.load(Ordering::SeqCst),
+            "the final attempt's diagnostic must run before the panic"
+        );
+    }
 }

@@ -1,0 +1,44 @@
+//! Seed-pinned chaos regressions for the formerly-quarantined skiplist
+//! concurrency tests.
+//!
+//! Unlike the gate-driven interleavings in `mwcas/tests/chaos_regressions`
+//! (which pin the two MwCAS helping races exactly), these pin whole
+//! *schedules*: chaos seeds under which the pre-fix tree deterministically
+//! wedged in the MwCAS helping livelock (`0xc4a05eed`: > 5 minutes against
+//! a sub-second normal runtime) or died in the reclamation path
+//! (`0xc4a05ef2`: SIGABRT) while running the exact workloads that used to
+//! sit in quarantine. Post-fix they must complete promptly — the watchdog
+//! turns a returning livelock into a bounded failure.
+//!
+//! A failing seed can be explored interactively with
+//! `chaos_stress --iters 1 --seed-base <seed>`.
+
+use skiplist::{stress, PersistMode};
+use std::time::Duration;
+
+fn run_pinned(name: &'static str, seed: u64) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::Builder::new()
+        .name(name.into())
+        .spawn(move || {
+            let _session = htm_sim::chaos::arm(htm_sim::chaos::Config::new(seed));
+            stress::dl_mixed_ops(PersistMode::Strict, 4, 400, 128);
+            stress::dl_mixed_ops(PersistMode::HtmMwcas, 4, 400, 128);
+            stress::bdl_mixed_ops(4, 600, 256, 8);
+            let _ = tx.send(());
+        })
+        .expect("spawn pinned chaos body");
+    if rx.recv_timeout(Duration::from_secs(120)).is_err() {
+        panic!("{name}: wedged or crashed under pinned seed {seed:#x}; worker leaked");
+    }
+}
+
+#[test]
+fn pinned_hang_seed_completes() {
+    run_pinned("chaos-pinned-hang-seed", 0xc4a05eed);
+}
+
+#[test]
+fn pinned_crash_seed_completes() {
+    run_pinned("chaos-pinned-crash-seed", 0xc4a05ef2);
+}
